@@ -1,0 +1,92 @@
+"""Ablation A2 — drift re-estimation on every sample (the §5.3 fix).
+
+The paper reports that with the drift estimated only once (from the
+warm-up), some warmupWaitTime values underestimate it and the filter
+"was too conservative in accepting the offsets, resulting in all the
+offsets being rejected in the regular phase"; the fix re-estimates on
+every accepted sample.  This ablation replays a trace with a sparse
+warm-up through both filter variants.
+"""
+
+import numpy as np
+
+from repro.core.config import MntpConfig
+from repro.reporting import render_table
+from repro.tuner.emulator import MntpEmulator
+from repro.tuner.traces import OffsetTrace, TraceEntry
+
+SOURCES = ("0.pool.ntp.org", "1.pool.ntp.org", "3.pool.ntp.org")
+
+
+def _drifting_trace(duration=4 * 3600.0, cadence=5.0, seed=0):
+    """A trace whose drift *accelerates* (a device warming after boot):
+    the skew ramps from 4 ppm to 12 ppm across the run, so a slope
+    fitted on the early warm-up window underestimates the later drift —
+    the paper's "number of samples were too low causing MNTP to
+    underestimate the clock drift value"."""
+    rng = np.random.default_rng(seed)
+    base_rate = 4e-6
+    accel = 8e-6 / duration  # skew gains 8 ppm over the run
+    trace = OffsetTrace(cadence=cadence)
+    t = 0.0
+    while t < duration:
+        offset_true = base_rate * t + 0.5 * accel * t * t
+        trace.append(TraceEntry(
+            time=t, rssi_dbm=-45.0, noise_dbm=-92.0,
+            offsets={
+                s: offset_true + float(rng.normal(0, 0.003)) for s in SOURCES
+            },
+        ))
+        t += cadence
+    return trace
+
+
+def bench_ablation_reestimation(once, report):
+    def run():
+        trace = _drifting_trace()
+        # Sparse warm-up (few samples over a short window) followed by a
+        # long regular phase: the §5.3 trouble spot.
+        base = MntpConfig(
+            warmup_period=600.0,
+            warmup_wait_time=60.0,
+            regular_wait_time=120.0,
+            reset_period=4 * 3600.0,
+            # No rebootstrap escape: the §5.3 filter had no such rescue,
+            # so the starvation mode is fully visible.
+            max_consecutive_rejections=10**9,
+        )
+        fixed = MntpEmulator(
+            trace, base.with_overrides(reestimate_every_sample=True)
+        ).run()
+        frozen = MntpEmulator(
+            trace, base.with_overrides(reestimate_every_sample=False)
+        ).run()
+        return fixed, frozen
+
+    fixed, frozen = once(run)
+
+    def regular_accepts(result):
+        # Reported entries past the warm-up window.
+        return sum(1 for t, _ in result.raw_accepted if t > 600.0)
+
+    rows = [
+        ["re-estimate every sample (fix)", regular_accepts(fixed),
+         len(fixed.rejected), f"{fixed.rmse_ms():.2f}"],
+        ["warm-up-only estimate (pre-fix)", regular_accepts(frozen),
+         len(frozen.rejected), f"{frozen.rmse_ms():.2f}"],
+    ]
+    report(
+        "ABLATION A2 — drift re-estimation policy (§5.3 insight)\n\n"
+        + render_table(
+            ["filter variant", "regular-phase accepts", "rejections",
+             "RMSE (ms)"],
+            rows,
+        )
+        + "\n\npaper: the frozen estimate starves the regular phase; "
+        "re-estimation fixes it"
+    )
+
+    # The fix accepts substantially more regular-phase samples.
+    assert regular_accepts(fixed) > regular_accepts(frozen)
+    # And the frozen variant rejects more.
+    assert len(frozen.rejected) > len(fixed.rejected)

@@ -1,0 +1,45 @@
+"""repro — a reproduction of "MNTP: Enhancing Time Synchronization for
+Mobile Devices" (Mani, Durairajan, Barford, Sommers — IMC 2016).
+
+The package implements the paper's contribution (the MNTP protocol) and
+every substrate it depends on — a discrete-event simulator, clock and
+oscillator models, a wireless channel, the NTP/SNTP wire protocol with
+the full reference filtering pipeline, the laboratory testbed, a 4G
+substrate, a pcap-based NTP server log study, and the MNTP tuner.
+
+Quickstart::
+
+    from repro.testbed import run_scenario
+
+    result = run_scenario("mntp_wireless_corrected", seed=1)
+    print(result.sntp_error_stats())   # unmodified SNTP
+    print(result.mntp_error_stats())   # MNTP
+    print(f"{result.improvement_factor():.1f}x better")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import Mntp, MntpConfig, HintThresholds
+from repro.testbed import ExperimentRunner, TestbedOptions, run_scenario, SCENARIOS
+from repro.tuner import TraceLogger, MntpEmulator, ParameterSearcher
+from repro.logs import LogStudy
+from repro.cellular import CellularExperiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mntp",
+    "MntpConfig",
+    "HintThresholds",
+    "ExperimentRunner",
+    "TestbedOptions",
+    "run_scenario",
+    "SCENARIOS",
+    "TraceLogger",
+    "MntpEmulator",
+    "ParameterSearcher",
+    "LogStudy",
+    "CellularExperiment",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""NITZ — Network Identity and Time Zone (3GPP TS 22.042).
+
+The paper's §2: "wireless devices also support a mechanism called NITZ
+to update clocks in a one-off fashion ... a weaker mechanism to obtain
+time information as the estimates are not obtained in a periodic
+fashion like NTP and are dependent on the device crossing a network
+boundary."
+
+Modelled accordingly: boundary crossings arrive as a Poisson process
+(a stationary device may see none for days); each crossing delivers the
+network's time truncated to whole seconds plus the carrier's own error,
+and the device steps its clock to it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.clock.simclock import SimClock
+from repro.simcore.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class NitzParams:
+    """NITZ behaviour parameters.
+
+    Attributes:
+        crossing_rate_hz: Poisson rate of network-boundary crossings
+            (default ~ one per 8 hours, a commuting handset).
+        carrier_error_sigma: Std-dev of the carrier clock's own error
+            (seconds) — carriers are frequently off by seconds.
+        quantization: NITZ carries whole seconds only.
+    """
+
+    crossing_rate_hz: float = 1.0 / (8 * 3600.0)
+    carrier_error_sigma: float = 2.0
+    quantization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.crossing_rate_hz < 0:
+            raise ValueError("crossing rate must be non-negative")
+        if self.quantization <= 0:
+            raise ValueError("quantization must be positive")
+
+
+class NitzService:
+    """Applies NITZ time updates to a phone clock on boundary crossings."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: SimClock,
+        params: NitzParams = NitzParams(),
+        stream_name: str = "nitz",
+    ) -> None:
+        self._sim = sim
+        self.clock = clock
+        self.params = params
+        self._rng = sim.rng.stream(stream_name)
+        self.updates = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin waiting for boundary crossings."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Cease applying updates."""
+        self._running = False
+
+    def force_crossing(self) -> float:
+        """Apply one crossing immediately (e.g. device boot / flight
+        mode toggle); returns the applied correction in seconds."""
+        true_now = self._sim.now
+        carrier_time = true_now + float(
+            self._rng.normal(0.0, self.params.carrier_error_sigma)
+        )
+        q = self.params.quantization
+        nitz_time = math.floor(carrier_time / q) * q
+        correction = nitz_time - self.clock.read()
+        self.clock.step(correction)
+        self.updates += 1
+        self._sim.trace.emit(
+            self._sim.now, "nitz", "update", correction=correction
+        )
+        return correction
+
+    def _schedule_next(self) -> None:
+        if not self._running or self.params.crossing_rate_hz == 0:
+            return
+        gap = float(self._rng.exponential(1.0 / self.params.crossing_rate_hz))
+        self._sim.call_after(gap, self._on_crossing, label="nitz:crossing")
+
+    def _on_crossing(self) -> None:
+        if not self._running:
+            return
+        self.force_crossing()
+        self._schedule_next()

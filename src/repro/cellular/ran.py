@@ -1,0 +1,115 @@
+"""Radio access network delay model (LTE RRC state machine).
+
+States and transitions:
+
+* ``IDLE`` — radio released; the next uplink packet triggers an RRC
+  connection setup (promotion) costing hundreds of milliseconds.
+* ``CONNECTED`` — packets flow with moderate scheduling delay; an
+  inactivity timer (network-configured, typically ~10 s) demotes the
+  radio back to IDLE.
+
+The promotion penalty applies to the *uplink* only, which makes the
+request/response delay asymmetric — exactly the error SNTP cannot see
+and the paper's Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class RrcState(Enum):
+    """Radio resource control state."""
+
+    IDLE = "idle"
+    CONNECTED = "connected"
+
+
+@dataclass
+class RanParams:
+    """4G delay model parameters.
+
+    Attributes:
+        promotion_mean / promotion_sigma: RRC idle->connected setup cost
+            (seconds), normal-distributed, floored at promotion_min.
+        promotion_min: Lower bound on promotion delay.
+        inactivity_timeout: Seconds of silence before demotion to IDLE.
+        uplink_base / downlink_base: Propagation+core floors (seconds).
+        uplink_jitter / downlink_jitter: Mean of the Gamma scheduling
+            jitter per direction.
+        loss_rate: Packet loss probability.
+        spike_rate / spike_scale: Heavy-tail delay episodes (handovers,
+            cell congestion).
+    """
+
+    promotion_mean: float = 0.350
+    promotion_sigma: float = 0.100
+    promotion_min: float = 0.150
+    inactivity_timeout: float = 10.0
+    uplink_base: float = 0.045
+    downlink_base: float = 0.035
+    uplink_jitter: float = 0.020
+    downlink_jitter: float = 0.012
+    loss_rate: float = 0.01
+    spike_rate: float = 0.03
+    spike_scale: float = 0.250
+
+
+class RadioAccessNetwork:
+    """Stateful 4G delay sampler.
+
+    Args:
+        params: Delay model parameters.
+        rng: Random stream.
+        now_fn: Callable returning current virtual time (drives the
+            inactivity timer).
+    """
+
+    def __init__(self, params: RanParams, rng: np.random.Generator, now_fn) -> None:
+        self.params = params
+        self._rng = rng
+        self._now_fn = now_fn
+        self._last_activity = -1e18
+        self.promotions = 0
+
+    @property
+    def state(self) -> RrcState:
+        """Current RRC state derived from the inactivity timer."""
+        if self._now_fn() - self._last_activity > self.params.inactivity_timeout:
+            return RrcState.IDLE
+        return RrcState.CONNECTED
+
+    def sample_uplink(self) -> "tuple[float, bool]":
+        """(delay, lost) for one uplink packet; may pay promotion."""
+        p = self.params
+        now = self._now_fn()
+        promotion = 0.0
+        if self.state is RrcState.IDLE:
+            promotion = max(
+                p.promotion_min,
+                float(self._rng.normal(p.promotion_mean, p.promotion_sigma)),
+            )
+            self.promotions += 1
+        self._last_activity = now
+        if self._rng.random() < p.loss_rate:
+            return float("inf"), True
+        delay = p.uplink_base + promotion
+        delay += float(self._rng.gamma(1.2, p.uplink_jitter / 1.2))
+        if self._rng.random() < p.spike_rate:
+            delay += float(self._rng.exponential(p.spike_scale))
+        return delay, False
+
+    def sample_downlink(self) -> "tuple[float, bool]":
+        """(delay, lost) for one downlink packet (radio already up)."""
+        p = self.params
+        self._last_activity = self._now_fn()
+        if self._rng.random() < p.loss_rate:
+            return float("inf"), True
+        delay = p.downlink_base
+        delay += float(self._rng.gamma(1.2, p.downlink_jitter / 1.2))
+        if self._rng.random() < p.spike_rate:
+            delay += float(self._rng.exponential(p.spike_scale))
+        return delay, False

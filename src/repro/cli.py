@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Exposes the main experiment flows without writing code::
+
+    repro-mntp scenarios                     # list named scenarios
+    repro-mntp run mntp_wireless_corrected   # run one scenario
+    repro-mntp logstudy --servers AG1 SU1    # the §3.1 pipeline
+    repro-mntp cellular                      # Figure 5
+    repro-mntp tune --save trace.jsonl       # tuner trace + Table 2
+    repro-mntp autotune --target-ms 8        # self-tuning pass
+    repro-mntp run X --save run.json         # archive a run
+    repro-mntp replay run.json               # summarise an archived run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cellular import CellularExperiment, CellularOptions
+from repro.core.config import TABLE2_CONFIGS
+from repro.logs import LogStudy
+from repro.logs.generator import GeneratorOptions
+from repro.logs.servers import TABLE1_SERVERS, server_by_id
+from repro.reporting import render_cdf, render_series, render_table
+from repro.testbed import SCENARIOS, run_scenario
+from repro.tuner import (
+    AutoTuneOptions,
+    AutoTuner,
+    LoggerOptions,
+    ParameterSearcher,
+    TraceLogger,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mntp",
+        description="Reproduction of 'MNTP: Enhancing Time Synchronization "
+        "for Mobile Devices' (IMC 2016).",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list named experiment scenarios")
+
+    run = sub.add_parser("run", help="run one named scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--save", metavar="PATH",
+                     help="archive the result as JSON")
+
+    replay = sub.add_parser("replay", help="summarise an archived run")
+    replay.add_argument("path", help="JSON file written by 'run --save'")
+
+    logstudy = sub.add_parser("logstudy", help="the §3.1 server-log study")
+    logstudy.add_argument(
+        "--servers", nargs="+", default=["AG1", "JW2", "SU1"],
+        help="Table-1 server ids (default: the Figure-1 trio)",
+    )
+    logstudy.add_argument(
+        "--scale", type=float, default=3e-4,
+        help="population subsampling factor",
+    )
+    logstudy.add_argument(
+        "--save-pcap-dir", metavar="DIR",
+        help="also write each server's synthetic trace as a .pcap file",
+    )
+
+    sub.add_parser("cellular", help="the §3.3 4G phone experiment (Fig 5)")
+
+    tune = sub.add_parser("tune", help="log a trace and print Table 2")
+    tune.add_argument("--hours", type=float, default=4.0)
+    tune.add_argument("--save", metavar="PATH", help="save the trace (JSONL)")
+
+    sub.add_parser("calibrate",
+                   help="check channel calibration against Figure-4 targets")
+
+    autotune = sub.add_parser("autotune", help="self-tuning pass (§7)")
+    autotune.add_argument("--hours", type=float, default=4.0)
+    autotune.add_argument("--target-ms", type=float, default=10.0)
+    autotune.add_argument("--budget-per-hour", type=float, default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "scenarios":
+        return _cmd_scenarios()
+    if command == "run":
+        return _cmd_run(args)
+    if command == "replay":
+        return _cmd_replay(args)
+    if command == "logstudy":
+        return _cmd_logstudy(args)
+    if command == "cellular":
+        return _cmd_cellular(args)
+    if command == "tune":
+        return _cmd_tune(args)
+    if command == "autotune":
+        return _cmd_autotune(args)
+    if command == "calibrate":
+        return _cmd_calibrate(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_scenarios() -> int:
+    rows = [
+        [name, f"{s.duration / 3600:.1f} h", s.description]
+        for name, s in sorted(SCENARIOS.items())
+    ]
+    print(render_table(["scenario", "duration", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_scenario(args.scenario, seed=args.seed)
+    if getattr(args, "save", None):
+        from repro.testbed.persistence import save_result
+
+        with open(args.save, "w") as f:
+            save_result(result, f)
+        print(f"result archived to {args.save}")
+    return _summarise(result)
+
+
+def _cmd_replay(args) -> int:
+    from repro.testbed.persistence import load_result
+
+    try:
+        with open(args.path) as f:
+            result = load_result(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.path}: {exc}", file=sys.stderr)
+        return 2
+    return _summarise(result)
+
+
+def _summarise(result) -> int:
+    sntp = result.sntp_error_stats()
+    rows = [["SNTP", sntp.count, f"{sntp.mean_abs * 1000:.1f}",
+             f"{sntp.max_abs * 1000:.1f}"]]
+    if result.mntp_reports:
+        mntp = result.mntp_error_stats()
+        rows.append(["MNTP", mntp.count, f"{mntp.mean_abs * 1000:.1f}",
+                     f"{mntp.max_abs * 1000:.1f}"])
+    print(render_table(["series", "n", "mean |err| (ms)", "max (ms)"], rows))
+    if result.sntp:
+        print(render_series([p.offset for p in result.sntp], label="SNTP"))
+    if result.mntp_reports:
+        print(render_series(
+            [p.offset for p in result.mntp_accepted()], label="MNTP"
+        ))
+        print(f"improvement: {result.improvement_factor():.1f}x")
+    return 0
+
+
+def _cmd_logstudy(args) -> int:
+    try:
+        servers = [server_by_id(s) for s in args.servers]
+    except KeyError as exc:
+        known = ", ".join(s.server_id for s in TABLE1_SERVERS)
+        print(f"unknown server {exc}; known: {known}", file=sys.stderr)
+        return 2
+    study = LogStudy(
+        seed=args.seed,
+        options=GeneratorOptions(scale=args.scale),
+        servers=servers,
+    )
+    study.run()
+    if getattr(args, "save_pcap_dir", None):
+        import os
+
+        from repro.logs.generator import TraceGenerator
+
+        os.makedirs(args.save_pcap_dir, exist_ok=True)
+        for server in servers:
+            generator = TraceGenerator(
+                server, seed=args.seed,
+                options=GeneratorOptions(scale=args.scale),
+            )
+            path = os.path.join(args.save_pcap_dir,
+                                f"{server.server_id}.pcap")
+            with open(path, "wb") as f:
+                generator.generate(fileobj=f)
+            print(f"wrote {path}")
+    rows = [
+        [r.server_id, r.stratum, r.ip_versions, f"{r.published_clients:,}",
+         r.generated_clients, r.synchronized_clients,
+         f"{r.sntp_share * 100:.0f}%"]
+        for r in study.table1()
+    ]
+    print(render_table(
+        ["server", "stratum", "ipv", "published", "generated", "synced",
+         "SNTP"], rows,
+    ))
+    for server in args.servers:
+        medians = study.category_medians(server)
+        line = "  ".join(
+            f"{cat}={value * 1000:.0f}ms" for cat, value in sorted(medians.items())
+        )
+        print(f"{server} category medians: {line}")
+    return 0
+
+
+def _cmd_cellular(args) -> int:
+    result = CellularExperiment(seed=args.seed, options=CellularOptions()).run()
+    stats = result.stats()
+    print(f"samples={stats.count} mean={stats.mean_abs * 1000:.1f}ms "
+          f"std={stats.std_abs * 1000:.1f}ms max={stats.max_abs * 1000:.1f}ms "
+          f"promotions={result.promotions}")
+    print(render_cdf([p.offset for p in result.offsets], label="offset CDF"))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    options = LoggerOptions(duration=args.hours * 3600.0)
+    trace = TraceLogger(seed=args.seed, options=options).run()
+    if args.save:
+        with open(args.save, "w") as f:
+            trace.save(f)
+        print(f"trace saved to {args.save}")
+    searcher = ParameterSearcher(trace)
+    rows = []
+    for num, config in TABLE2_CONFIGS.items():
+        result = searcher.evaluate(config)
+        wp, ww, rw, rp, rmse_ms, requests = result.row()
+        rows.append([num, f"{wp:.0f}", f"{ww:.3f}", f"{rw:.0f}",
+                     f"{rmse_ms:.2f}", requests])
+    print(render_table(
+        ["config", "warmup (min)", "warmup wait (min)", "regular wait (min)",
+         "RMSE (ms)", "requests"], rows,
+    ))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.testbed.calibration import run_calibration
+
+    report = run_calibration(seed=args.seed)
+    print(render_table(
+        ["target", "paper (ms)", "measured (ms)", "band (ms)", "verdict"],
+        report.rows(),
+    ))
+    if report.ok:
+        print("calibration OK")
+        return 0
+    print("calibration OUT OF BAND — see DESIGN.md §2 before trusting "
+          "figure benches")
+    return 1
+
+
+def _cmd_autotune(args) -> int:
+    options = LoggerOptions(duration=args.hours * 3600.0)
+    trace = TraceLogger(seed=args.seed, options=options).run()
+    tuner = AutoTuner(options=AutoTuneOptions(
+        target_rmse_ms=args.target_ms,
+        max_requests_per_hour=args.budget_per_hour,
+    ))
+    outcome = tuner.tune(trace)
+    if outcome.recommended is None:
+        print("no viable configuration under the given constraints")
+        return 1
+    c = outcome.recommended
+    status = "meets target" if outcome.met_target else "best affordable"
+    print(f"recommended ({status}): warmup={c.warmup_period / 60:.0f}min "
+          f"warmupWait={c.warmup_wait_time / 60:.3f}min "
+          f"regularWait={c.regular_wait_time / 60:.0f}min "
+          f"reset={c.reset_period / 60:.0f}min")
+    rows = [
+        [f"{r.config.warmup_period / 60:.0f}/{r.config.warmup_wait_time / 60:.2f}"
+         f"/{r.config.regular_wait_time / 60:.0f}",
+         r.requests, f"{r.rmse_ms:.2f}"]
+        for r in outcome.pareto
+    ]
+    print(render_table(["pareto config (min)", "requests", "RMSE (ms)"], rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Clock-correction policy interface.
+
+Both the NTP discipline loop and MNTP's ``correctSystemClock`` /
+``correctSystemClockDrift`` steps apply corrections through this small
+protocol, so experiments can swap step-only (SNTP/Android-style),
+slew-preferred (ntpd-style), or no-op (measurement-only) policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class SlewLimits:
+    """Thresholds controlling step-vs-slew decisions.
+
+    Attributes:
+        step_threshold: Offsets larger than this are stepped (ntpd: 128 ms).
+        max_slew_rate: Maximum slew rate in s/s (ntpd: 500 ppm).
+    """
+
+    step_threshold: float = 0.128
+    max_slew_rate: float = 500e-6
+
+
+class ClockCorrector:
+    """Applies phase and frequency corrections to a :class:`SimClock`.
+
+    Args:
+        clock: The clock to correct.
+        limits: Step/slew policy thresholds.
+        enabled: When False every correction is a no-op; used for the
+            paper's "without NTP clock correction" (free-running) runs
+            and for MNTP's measurement-only baseline mode.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        limits: SlewLimits = SlewLimits(),
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.limits = limits
+        self.enabled = enabled
+
+    def apply_offset(self, measured_offset: float) -> str:
+        """Correct the clock by the measured offset (server - local).
+
+        Returns the action taken: ``"step"``, ``"slew"`` or ``"noop"``.
+        """
+        if not self.enabled:
+            return "noop"
+        if abs(measured_offset) > self.limits.step_threshold:
+            self.clock.step(measured_offset)
+            return "step"
+        self.clock.slew(measured_offset, rate=self.limits.max_slew_rate)
+        return "slew"
+
+    def apply_offset_step(self, measured_offset: float) -> str:
+        """Correct the clock by stepping unconditionally.
+
+        Mobile OSes adjust time via a settimeofday-style step regardless
+        of magnitude (the paper's "vendor-specific system calls"); MNTP
+        uses this entry point for its regular-phase corrections.
+        Returns ``"step"`` or ``"noop"``.
+        """
+        if not self.enabled:
+            return "noop"
+        self.clock.step(measured_offset)
+        return "step"
+
+    def apply_frequency(self, skew_s_per_s: float) -> str:
+        """Trim the clock frequency to cancel an estimated skew.
+
+        Args:
+            skew_s_per_s: Estimated drift rate of the local clock in
+                seconds per second (positive = local clock fast).
+
+        Returns ``"freq"`` or ``"noop"``.
+        """
+        if not self.enabled:
+            return "noop"
+        self.clock.nudge_frequency(-skew_s_per_s * 1e6)
+        return "freq"

@@ -1,0 +1,76 @@
+"""Ambient temperature profiles.
+
+Temperature drives part of oscillator frequency error.  Profiles are
+pure functions of virtual time, so experiments remain deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class TemperatureProfile(ABC):
+    """Maps virtual time (seconds) to ambient temperature (Celsius)."""
+
+    @abstractmethod
+    def at(self, time: float) -> float:
+        """Temperature at virtual ``time``."""
+
+
+class ConstantTemperature(TemperatureProfile):
+    """Fixed ambient temperature — the paper's 'same ambient temperature'
+    laboratory condition."""
+
+    def __init__(self, celsius: float = 25.0) -> None:
+        self.celsius = float(celsius)
+
+    def at(self, time: float) -> float:
+        return self.celsius
+
+
+class DiurnalTemperature(TemperatureProfile):
+    """Sinusoidal day/night cycle around a mean.
+
+    Used by longer in-situ style experiments and the oscillator ablation.
+    """
+
+    def __init__(
+        self,
+        mean_c: float = 25.0,
+        amplitude_c: float = 4.0,
+        period_s: float = 86_400.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.mean_c = float(mean_c)
+        self.amplitude_c = float(amplitude_c)
+        self.period_s = float(period_s)
+        self.phase_s = float(phase_s)
+
+    def at(self, time: float) -> float:
+        angle = 2.0 * math.pi * (time + self.phase_s) / self.period_s
+        return self.mean_c + self.amplitude_c * math.sin(angle)
+
+
+class RampTemperature(TemperatureProfile):
+    """Linear warm-up (e.g. a device heating after boot), clamped at an
+    end temperature."""
+
+    def __init__(
+        self, start_c: float = 20.0, end_c: float = 35.0, ramp_duration_s: float = 1800.0
+    ) -> None:
+        if ramp_duration_s <= 0:
+            raise ValueError("ramp duration must be positive")
+        self.start_c = float(start_c)
+        self.end_c = float(end_c)
+        self.ramp_duration_s = float(ramp_duration_s)
+
+    def at(self, time: float) -> float:
+        if time <= 0:
+            return self.start_c
+        if time >= self.ramp_duration_s:
+            return self.end_c
+        frac = time / self.ramp_duration_s
+        return self.start_c + frac * (self.end_c - self.start_c)

@@ -1,0 +1,26 @@
+"""Typed MNTP decision events.
+
+Every decision the protocol makes is emitted into the simulation trace
+under component ``"mntp"`` with one of these kinds; the Figure-7
+"signals and selection" reproduction and the tests read them back.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MntpEventKind(str, Enum):
+    """Trace event kinds emitted by :class:`repro.core.protocol.Mntp`."""
+
+    DEFERRED = "deferred"                    # hint gate not satisfied
+    QUERY_SENT = "query_sent"
+    QUERY_FAILED = "query_failed"            # timeout / bad response
+    FALSE_TICKER = "false_ticker"            # warm-up source rejected
+    OFFSET_ACCEPTED = "offset_accepted"
+    OFFSET_REJECTED = "offset_rejected"      # trend filter rejection
+    DRIFT_ESTIMATED = "drift_estimated"
+    DRIFT_CORRECTED = "drift_corrected"
+    CLOCK_CORRECTED = "clock_corrected"
+    WARMUP_COMPLETE = "warmup_complete"
+    RESET = "reset"

@@ -1,0 +1,32 @@
+"""The wireless-hint gate: ``favorableSNRCondition()`` of Algorithm 1."""
+
+from __future__ import annotations
+
+from repro.core.config import HintThresholds
+from repro.wireless.hints import WirelessHints
+
+
+def favorable_snr_condition(hints: WirelessHints, thresholds: HintThresholds) -> bool:
+    """Whether the channel currently looks stable enough to query.
+
+    All three conditions must hold (§4.2): RSSI above the floor, noise
+    below the ceiling, and SNR margin at or above the minimum.
+    """
+    return (
+        hints.rssi_dbm > thresholds.min_rssi_dbm
+        and hints.noise_dbm < thresholds.max_noise_dbm
+        and hints.snr_margin_db >= thresholds.min_snr_margin_db
+    )
+
+
+def failing_conditions(hints: WirelessHints, thresholds: HintThresholds) -> "list[str]":
+    """Names of the threshold(s) a reading violates — used by the
+    Figure-7 signals/selection reproduction to attribute deferrals."""
+    failures = []
+    if hints.rssi_dbm <= thresholds.min_rssi_dbm:
+        failures.append("rssi")
+    if hints.noise_dbm >= thresholds.max_noise_dbm:
+        failures.append("noise")
+    if hints.snr_margin_db < thresholds.min_snr_margin_db:
+        failures.append("snr_margin")
+    return failures

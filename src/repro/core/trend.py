@@ -1,0 +1,102 @@
+"""Trend-line fitting for clock drift.
+
+The paper fits "a trend line using least squares polynomial fit with a
+first degree polynomial" over the recorded offsets — the slope is the
+drift (skew) estimate, re-estimated on every accepted sample.  The
+filter measures each candidate offset's squared error against the
+line's extrapolation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class TrendLine:
+    """Incrementally maintained degree-1 least-squares fit.
+
+    Points are (time, offset) pairs.  The fit is recomputed from the
+    stored points on demand; a ``max_points`` window bounds memory for
+    long runs (the regular phase adds a point every request).
+    """
+
+    def __init__(self, max_points: int = 4096) -> None:
+        if max_points < 2:
+            raise ValueError("window must hold at least 2 points")
+        self._times: List[float] = []
+        self._offsets: List[float] = []
+        self._max_points = max_points
+        self._coeffs: Optional[Tuple[float, float]] = None  # (slope, intercept)
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def add(self, time: float, offset: float) -> None:
+        """Record an accepted offset sample."""
+        self._times.append(float(time))
+        self._offsets.append(float(offset))
+        if len(self._times) > self._max_points:
+            self._times.pop(0)
+            self._offsets.pop(0)
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Forget all samples (protocol reset)."""
+        self._times.clear()
+        self._offsets.clear()
+        self._coeffs = None
+        self._dirty = True
+
+    def _fit(self) -> Optional[Tuple[float, float]]:
+        if self._dirty:
+            if len(self._times) < 2:
+                self._coeffs = None
+            else:
+                t = np.asarray(self._times)
+                o = np.asarray(self._offsets)
+                # Centre time for numerical stability on large epochs.
+                t0 = t.mean()
+                slope, intercept_c = np.polyfit(t - t0, o, 1)
+                self._coeffs = (float(slope), float(intercept_c - slope * t0))
+            self._dirty = False
+        return self._coeffs
+
+    @property
+    def slope(self) -> Optional[float]:
+        """Drift estimate in seconds of offset per second, or None if
+        fewer than two points are recorded."""
+        coeffs = self._fit()
+        return None if coeffs is None else coeffs[0]
+
+    def predict(self, time: float) -> Optional[float]:
+        """Extrapolated offset at ``time``, or None if unfit."""
+        coeffs = self._fit()
+        if coeffs is None:
+            return None
+        slope, intercept = coeffs
+        return slope * time + intercept
+
+    def squared_errors(self) -> np.ndarray:
+        """Squared residuals of the recorded points against the fit."""
+        coeffs = self._fit()
+        if coeffs is None or not self._times:
+            return np.asarray([])
+        slope, intercept = coeffs
+        t = np.asarray(self._times)
+        o = np.asarray(self._offsets)
+        resid = o - (slope * t + intercept)
+        return resid**2
+
+    def residual_stats(self) -> Tuple[float, float]:
+        """(mean, std) of the squared residuals; (0, 0) when unfit."""
+        errs = self.squared_errors()
+        if errs.size == 0:
+            return 0.0, 0.0
+        return float(errs.mean()), float(errs.std())
+
+    def points(self) -> "Tuple[List[float], List[float]]":
+        """Copies of the recorded (times, offsets)."""
+        return list(self._times), list(self._offsets)

@@ -1,0 +1,120 @@
+"""Per-protocol energy accounting.
+
+Collects the transmission schedules of the competing synchronization
+strategies from an experiment's traces and prices them through the
+radio model, yielding the paper's future-work comparison: accuracy vs
+network load vs battery cost for SNTP, MNTP, full NTP (ntpd), and the
+stock Android daily-poll policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.energy.radio import EnergyBreakdown, RadioEnergyModel, RadioEnergyParams
+
+#: Wire cost of one NTP exchange: 48 B payload + 28 B UDP/IP overhead,
+#: each way.
+NTP_EXCHANGE_BYTES = 2 * (48 + 28)
+
+
+@dataclass(frozen=True)
+class ProtocolEnergyReport:
+    """Energy/load summary for one strategy over one experiment.
+
+    Attributes:
+        name: Strategy label.
+        duration_h: Experiment length in hours.
+        requests: Synchronization requests emitted.
+        bytes_on_wire: Total request+response bytes.
+        breakdown: Radio energy attribution.
+    """
+
+    name: str
+    duration_h: float
+    requests: int
+    bytes_on_wire: int
+    breakdown: EnergyBreakdown
+
+    @property
+    def joules_per_hour(self) -> float:
+        """Average radio energy per hour (J/h)."""
+        if self.duration_h == 0:
+            return 0.0
+        return self.breakdown.total_j / self.duration_h
+
+    @property
+    def wakeups_per_hour(self) -> float:
+        """Radio promotions per hour — the keep-alive cost Haverinen
+        et al. identify for UDP protocols."""
+        if self.duration_h == 0:
+            return 0.0
+        return self.breakdown.promotions / self.duration_h
+
+
+class EnergyAccountant:
+    """Prices request schedules through a shared radio model."""
+
+    def __init__(self, params: RadioEnergyParams = RadioEnergyParams()) -> None:
+        self.model = RadioEnergyModel(params)
+
+    def price_schedule(
+        self,
+        name: str,
+        request_times: Sequence[float],
+        duration: float,
+        bytes_per_request: int = NTP_EXCHANGE_BYTES,
+        requests_per_event: int = 1,
+    ) -> ProtocolEnergyReport:
+        """Price a schedule of synchronization instants.
+
+        Args:
+            name: Strategy label.
+            request_times: Instants at which requests were emitted.
+            duration: Experiment duration (seconds).
+            bytes_per_request: Wire bytes per request+response exchange.
+            requests_per_event: Parallel exchanges per instant (MNTP's
+                warm-up queries three servers at once — one radio
+                wake-up, triple payload).
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        events: List[Tuple[float, int]] = [
+            (t, bytes_per_request * requests_per_event) for t in request_times
+        ]
+        breakdown = self.model.evaluate(events)
+        return ProtocolEnergyReport(
+            name=name,
+            duration_h=duration / 3600.0,
+            requests=len(request_times) * requests_per_event,
+            bytes_on_wire=sum(size for _, size in events),
+            breakdown=breakdown,
+        )
+
+    def price_events(
+        self,
+        name: str,
+        events: Sequence[Tuple[float, int]],
+        duration: float,
+        bytes_per_request: int = NTP_EXCHANGE_BYTES,
+    ) -> ProtocolEnergyReport:
+        """Price a schedule of (time, parallel exchange count) events.
+
+        Used for protocols whose instants carry varying fan-out, e.g.
+        MNTP's three-server warm-up rounds and one-server regular
+        rounds in a single run.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        wire_events: List[Tuple[float, int]] = [
+            (t, bytes_per_request * n) for t, n in events
+        ]
+        breakdown = self.model.evaluate(wire_events)
+        return ProtocolEnergyReport(
+            name=name,
+            duration_h=duration / 3600.0,
+            requests=sum(n for _, n in events),
+            bytes_on_wire=sum(size for _, size in wire_events),
+            breakdown=breakdown,
+        )

@@ -1,0 +1,149 @@
+"""Cellular/WiFi radio power-state machine.
+
+States and default powers follow the measurements of Balasubramanian
+et al. (IMC 2009) for 3G/LTE-class radios, simplified to the structure
+that matters for periodic small transfers:
+
+* ``IDLE`` — radio sleeping (baseline power excluded from accounting);
+* ``PROMOTION`` — ramping up to the dedicated channel before the first
+  byte moves;
+* ``ACTIVE`` — transferring;
+* ``TAIL`` — the radio holds the high-power state for a fixed timeout
+  after the last transfer before falling back to idle.
+
+The *tail* is why request pacing dominates energy: a 48-byte NTP packet
+costs almost nothing to transmit but wakes the radio for
+``tail_time`` seconds.  Two requests within one tail share it; two
+requests farther apart pay it twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+
+class RadioState(Enum):
+    """Radio power state."""
+
+    IDLE = "idle"
+    PROMOTION = "promotion"
+    ACTIVE = "active"
+    TAIL = "tail"
+
+
+@dataclass(frozen=True)
+class RadioEnergyParams:
+    """Power-state model parameters (3G/LTE-class defaults).
+
+    Attributes:
+        promotion_time: Seconds spent ramping before a transfer when the
+            radio was idle.
+        promotion_power: Watts during promotion.
+        active_power: Watts while transferring.
+        tail_time: Seconds the radio lingers at tail power after the
+            last transfer.
+        tail_power: Watts during the tail.
+        transfer_rate: Effective application-layer bytes/second used to
+            convert payload size into active time.
+        per_byte_energy: Extra joules per payload byte (marginal cost on
+            top of the time-based terms).
+    """
+
+    promotion_time: float = 2.0
+    promotion_power: float = 1.2
+    active_power: float = 1.0
+    tail_time: float = 12.5
+    tail_power: float = 0.6
+    transfer_rate: float = 50_000.0
+    per_byte_energy: float = 1e-6
+
+    def __post_init__(self) -> None:
+        for name in ("promotion_time", "tail_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.transfer_rate <= 0:
+            raise ValueError("transfer rate must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy attribution for one transmission schedule.
+
+    Attributes:
+        total_j: Total joules above idle baseline.
+        promotion_j / active_j / tail_j / payload_j: Per-component terms.
+        promotions: Radio wake-ups (idle -> promotion transitions).
+        radio_on_seconds: Total non-idle time.
+    """
+
+    total_j: float
+    promotion_j: float
+    active_j: float
+    tail_j: float
+    payload_j: float
+    promotions: int
+    radio_on_seconds: float
+
+
+class RadioEnergyModel:
+    """Replays a transmission schedule through the power-state machine.
+
+    The model is evaluated offline over a list of (time, bytes) events
+    (request+response pairs count their combined bytes at the request
+    instant — the tail dominates, so sub-RTT structure is immaterial).
+    """
+
+    def __init__(self, params: RadioEnergyParams = RadioEnergyParams()) -> None:
+        self.params = params
+
+    def evaluate(self, events: Sequence[Tuple[float, int]]) -> EnergyBreakdown:
+        """Compute the energy of a schedule of (time, payload bytes).
+
+        Events need not be sorted; zero-byte events still wake the
+        radio (a retry that times out transmitted a request).
+        """
+        p = self.params
+        ordered = sorted(events, key=lambda e: e[0])
+        promotions = 0
+        promotion_j = active_j = tail_j = payload_j = 0.0
+        radio_on = 0.0
+        #: Time at which the radio would return to IDLE if nothing else
+        #: happens (end of current tail); None while idle.
+        tail_until = None
+
+        for time, size in ordered:
+            active_time = size / p.transfer_rate
+            if tail_until is None or time > tail_until:
+                # Radio idle: full promotion cost.
+                promotions += 1
+                promotion_j += p.promotion_time * p.promotion_power
+                radio_on += p.promotion_time
+                if tail_until is not None and time > tail_until:
+                    pass  # previous tail fully paid below at truncation
+            else:
+                # Within the previous tail: truncate that tail at this
+                # event (the tail resets), crediting only the elapsed
+                # portion.
+                overlap = tail_until - time
+                tail_j -= overlap * p.tail_power
+                radio_on -= overlap
+            active_j += active_time * p.active_power
+            payload_j += size * p.per_byte_energy
+            radio_on += active_time
+            # A fresh full tail starts after this transfer.
+            tail_j += p.tail_time * p.tail_power
+            radio_on += p.tail_time
+            tail_until = time + active_time + p.tail_time
+
+        total = promotion_j + active_j + tail_j + payload_j
+        return EnergyBreakdown(
+            total_j=total,
+            promotion_j=promotion_j,
+            active_j=active_j,
+            tail_j=tail_j,
+            payload_j=payload_j,
+            promotions=promotions,
+            radio_on_seconds=radio_on,
+        )

@@ -1,0 +1,220 @@
+"""The end-to-end log study: generate -> parse -> filter -> aggregate.
+
+Produces the three §3.1 artefacts:
+
+* :meth:`LogStudy.table1` — per-server client statistics (Table 1);
+* :meth:`LogStudy.figure1` — per-provider min-OWD distributions for
+  selected servers (Figure 1, both panels);
+* :meth:`LogStudy.figure2` — SNTP/NTP shares per server and per
+  provider (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.logs.asndb import AsnDatabase
+from repro.logs.classify import (
+    classify_protocol_share,
+    classify_provider_kind,
+    group_by_provider,
+)
+from repro.logs.generator import GeneratorOptions, TraceGenerator, TRACE_EPOCH_UNIX
+from repro.logs.heuristic import HeuristicParams, filter_synchronized_clients
+from repro.logs.parser import ClientObservation, parse_trace
+from repro.logs.providers import Provider
+from repro.logs.servers import TABLE1_SERVERS, ServerDescriptor
+from repro.metrics.distributions import iqr, quantile
+
+
+@dataclass
+class ServerSummary:
+    """Generated-trace statistics for one server (Table-1 row).
+
+    Attributes mirror the published columns plus the generated counts.
+    """
+
+    server_id: str
+    stratum: int
+    ip_versions: str
+    published_clients: int
+    published_measurements: int
+    generated_clients: int
+    generated_measurements: int
+    synchronized_clients: int
+    sntp_clients: int
+    ntp_clients: int
+
+    @property
+    def sntp_share(self) -> float:
+        """Fraction of classified clients using SNTP."""
+        total = self.sntp_clients + self.ntp_clients
+        return self.sntp_clients / total if total else 0.0
+
+
+@dataclass
+class ProviderLatency:
+    """Min-OWD distribution of one provider's clients at one server."""
+
+    provider: Provider
+    category: str
+    client_count: int
+    min_owds: List[float] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        """Median per-client minimum OWD (seconds)."""
+        return quantile(self.min_owds, 0.5)
+
+    @property
+    def interquartile_range(self) -> float:
+        """IQR of per-client minimum OWDs (seconds)."""
+        return iqr(self.min_owds)
+
+
+class LogStudy:
+    """Runs the full §3.1 pipeline over synthetic traces.
+
+    Args:
+        seed: Root seed for all trace generation.
+        options: Generation knobs (scale etc.).
+        heuristic: Filtering thresholds.
+        servers: Subset of Table-1 servers to process (all by default).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        options: GeneratorOptions = GeneratorOptions(),
+        heuristic: HeuristicParams = HeuristicParams(),
+        servers: Optional[Sequence[ServerDescriptor]] = None,
+    ) -> None:
+        self.seed = seed
+        self.options = options
+        self.heuristic = heuristic
+        self.servers = list(servers) if servers is not None else list(TABLE1_SERVERS)
+        self._asndb = AsnDatabase()
+        self._raw: Dict[str, Dict[str, ClientObservation]] = {}
+        self._filtered: Dict[str, Dict[str, ClientObservation]] = {}
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def run(self) -> None:
+        """Generate and parse every server's trace (idempotent)."""
+        if self._raw:
+            return
+        for server in self.servers:
+            generator = TraceGenerator(server, seed=self.seed, options=self.options)
+            pcap_bytes = generator.generate()
+            observations = parse_trace(pcap_bytes, pivot_unix=TRACE_EPOCH_UNIX)
+            self._raw[server.server_id] = observations
+            self._filtered[server.server_id] = filter_synchronized_clients(
+                observations, self.heuristic
+            )
+
+    def observations(self, server_id: str, filtered: bool = True) -> Dict[str, ClientObservation]:
+        """Per-client observations for one server."""
+        self.run()
+        store = self._filtered if filtered else self._raw
+        return store[server_id]
+
+    # -- Table 1 -----------------------------------------------------------------
+
+    def table1(self) -> List[ServerSummary]:
+        """Per-server summaries (generated counts beside published)."""
+        self.run()
+        rows = []
+        for server in self.servers:
+            raw = self._raw[server.server_id]
+            filtered = self._filtered[server.server_id]
+            sntp, ntp = classify_protocol_share(raw.values())
+            rows.append(
+                ServerSummary(
+                    server_id=server.server_id,
+                    stratum=server.stratum,
+                    ip_versions="/".join(server.ip_versions),
+                    published_clients=server.unique_clients,
+                    published_measurements=server.total_measurements,
+                    generated_clients=len(raw),
+                    generated_measurements=sum(
+                        o.total_requests for o in raw.values()
+                    ),
+                    synchronized_clients=len(filtered),
+                    sntp_clients=sntp,
+                    ntp_clients=ntp,
+                )
+            )
+        return rows
+
+    # -- Figure 1 -----------------------------------------------------------------
+
+    def figure1(self, server_id: str) -> List[ProviderLatency]:
+        """Per-provider min-OWD distributions at one server, ordered by
+        SP rank (Figure 1's x-axis)."""
+        self.run()
+        grouped = group_by_provider(self._filtered[server_id], self._asndb)
+        out: List[ProviderLatency] = []
+        for provider_name, members in grouped.items():
+            provider = members[0][0].provider
+            min_owds = [obs.min_owd() for _, obs in members]
+            out.append(
+                ProviderLatency(
+                    provider=provider,
+                    category=classify_provider_kind(members[0][0]),
+                    client_count=len(members),
+                    min_owds=min_owds,
+                )
+            )
+        out.sort(key=lambda pl: pl.provider.sp_id)
+        return out
+
+    def category_medians(self, server_id: str) -> Dict[str, float]:
+        """Median min-OWD pooled per category (the Figure-1 headline:
+        cloud ~40 ms, ISP ~50 ms, broadband ~250 ms, mobile ~550 ms)."""
+        pooled: Dict[str, List[float]] = {}
+        for pl in self.figure1(server_id):
+            pooled.setdefault(pl.category, []).extend(pl.min_owds)
+        return {
+            category: float(np.median(values))
+            for category, values in pooled.items()
+            if values
+        }
+
+    # -- Figure 2 ------------------------------------------------------------------
+
+    def figure2_per_server(self) -> Dict[str, "tuple[int, int]"]:
+        """(sntp, ntp) client counts per server."""
+        self.run()
+        return {
+            server.server_id: classify_protocol_share(
+                self._raw[server.server_id].values()
+            )
+            for server in self.servers
+        }
+
+    def figure2_per_provider(self, server_id: str) -> Dict[str, "tuple[int, int]"]:
+        """(sntp, ntp) client counts per provider at one server."""
+        self.run()
+        grouped = group_by_provider(self._raw[server_id], self._asndb)
+        return {
+            name: classify_protocol_share(obs for _, obs in members)
+            for name, members in grouped.items()
+        }
+
+    def mobile_sntp_share(self, server_id: str) -> float:
+        """Pooled SNTP share over the mobile providers at one server
+        (the paper: >95 %)."""
+        grouped = group_by_provider(self._raw[server_id], self._asndb)
+        sntp = ntp = 0
+        for members in grouped.values():
+            record = members[0][0]
+            if classify_provider_kind(record) != "mobile":
+                continue
+            s, n = classify_protocol_share(obs for _, obs in members)
+            sntp += s
+            ntp += n
+        total = sntp + ntp
+        return sntp / total if total else 0.0

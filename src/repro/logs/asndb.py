@@ -1,0 +1,82 @@
+"""Synthetic IP -> ASN/provider registry (Team Cymru substitute).
+
+Client IPv4 addresses are allocated deterministically from per-provider
+``10.<sp>.0.0/16`` blocks (IPv6 from ``2001:db8:<sp>::/48``), so lookup
+is pure arithmetic — the same whois-style (ASN, AS name, hostname)
+tuple the paper obtains from Team Cymru plus reverse DNS.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.logs.providers import PROVIDERS, Provider
+
+
+@dataclass(frozen=True)
+class AsnRecord:
+    """Lookup result for one client address.
+
+    Attributes:
+        ip: The queried address.
+        asn: Autonomous system number.
+        as_name: Organisation name (carries classifier keywords).
+        hostname: Reverse-DNS name of the client.
+        provider: The owning provider object.
+    """
+
+    ip: str
+    asn: int
+    as_name: str
+    hostname: str
+    provider: Provider
+
+
+class AsnDatabase:
+    """Deterministic address allocator and reverse lookup."""
+
+    def __init__(self) -> None:
+        self._by_prefix = {p.prefix16: p for p in PROVIDERS}
+
+    # -- allocation -------------------------------------------------------
+
+    def client_ip(self, provider: Provider, index: int, ipv6: bool = False) -> str:
+        """The ``index``-th client address of ``provider``.
+
+        IPv4 blocks hold 2^16 hosts; indexes wrap beyond that (the
+        generator never allocates that many per provider).
+        """
+        if ipv6:
+            return f"2001:db8:{provider.prefix16:x}::{(index % 0xFFFF) + 1:x}"
+        host = index % 65_536
+        return f"10.{provider.prefix16}.{host // 256}.{host % 256}"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, ip: str) -> Optional[AsnRecord]:
+        """Cymru-style lookup; None for addresses outside any block."""
+        addr = ipaddress.ip_address(ip)
+        if addr.version == 4:
+            octets = ip.split(".")
+            if octets[0] != "10":
+                return None
+            prefix = int(octets[1])
+            index = int(octets[2]) * 256 + int(octets[3])
+        else:
+            if not ip.startswith("2001:db8:"):
+                return None
+            parts = ip.split(":")
+            prefix = int(parts[2], 16)
+            index = int(addr) & 0xFFFF
+        provider = self._by_prefix.get(prefix)
+        if provider is None:
+            return None
+        return AsnRecord(
+            ip=ip,
+            asn=provider.asn,
+            as_name=provider.name,
+            hostname=f"host-{index}.{provider.domain}",
+            provider=provider,
+        )

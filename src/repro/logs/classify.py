@@ -1,0 +1,76 @@
+"""Client classification (§3.1).
+
+Two classifiers, both as the paper describes:
+
+* **wired vs wireless / provider category** — "a simple process that
+  leverages keywords and provider names (e.g., mobile, cloud, Amazon,
+  Sprint, etc.) present in hostnames";
+* **SNTP vs NTP** — from the request wire format (zeroed fields),
+  counted per client then aggregated per server/provider.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.logs.asndb import AsnDatabase, AsnRecord
+from repro.logs.parser import ClientObservation
+
+#: Keyword table in priority order: first match wins.
+_CATEGORY_KEYWORDS = (
+    ("mobile", ("mobile", "wireless", "cell", "4g", "lte", "sprint", "wwan")),
+    ("cloud", ("cloud", "hosting", "amazon", "datacenter", "dc.", "serve")),
+    ("broadband", ("dsl", "cable", "catv", "broadband", "home", "res", "residential")),
+)
+
+
+def classify_provider_kind(record: AsnRecord) -> str:
+    """Keyword classification of a lookup record into a category.
+
+    Returns one of "mobile", "cloud", "broadband", "isp" (the default
+    when no keyword matches — ISPs are the residual class in the paper
+    too).
+    """
+    haystack = f"{record.as_name} {record.hostname}".lower()
+    for category, keywords in _CATEGORY_KEYWORDS:
+        if any(k in haystack for k in keywords):
+            return category
+    return "isp"
+
+
+def is_wireless(record: AsnRecord) -> bool:
+    """Binary wired/wireless split: wireless == mobile keywords."""
+    return classify_provider_kind(record) == "mobile"
+
+
+def classify_protocol_share(
+    observations: Iterable[ClientObservation],
+) -> Tuple[int, int]:
+    """Count (sntp_clients, ntp_clients) by per-client majority vote."""
+    sntp = 0
+    ntp = 0
+    for obs in observations:
+        if obs.uses_sntp:
+            sntp += 1
+        else:
+            ntp += 1
+    return sntp, ntp
+
+
+def group_by_provider(
+    observations: Dict[str, ClientObservation],
+    asndb: Optional[AsnDatabase] = None,
+) -> Dict[str, "list[tuple[AsnRecord, ClientObservation]]"]:
+    """Group observations by provider name via ASN lookup.
+
+    Unmapped addresses are dropped (the paper likewise ignores clients
+    it cannot attribute).
+    """
+    asndb = asndb or AsnDatabase()
+    grouped: Dict[str, list] = {}
+    for ip, obs in observations.items():
+        record = asndb.lookup(ip)
+        if record is None:
+            continue
+        grouped.setdefault(record.provider.name, []).append((record, obs))
+    return grouped

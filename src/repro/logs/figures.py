@@ -1,0 +1,158 @@
+"""Ready-to-render datasets for the §3.1 figures.
+
+The benches print text renderings; this module exposes the underlying
+figure data in plotting-library-agnostic form — five-number boxplot
+summaries per provider (Figure 1 left), CDF arrays per provider
+(Figure 1 right), and stacked protocol-share bars (Figure 2) — so a
+downstream user with matplotlib can regenerate the actual plots in a
+few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.logs.analysis import LogStudy
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus whisker bounds for one provider.
+
+    Attributes:
+        label: "SP <rank>" as in the paper's x-axis.
+        category: Provider category.
+        minimum / q1 / median / q3 / maximum: Distribution summary
+            (seconds).
+        whisker_low / whisker_high: Tukey 1.5*IQR whisker positions.
+        count: Client count behind the box.
+    """
+
+    label: str
+    category: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    count: int
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    """One provider's empirical CDF.
+
+    Attributes:
+        label: Provider label.
+        category: Provider category.
+        values: Sorted min-OWDs (seconds).
+        probabilities: Matching cumulative probabilities (i/n).
+    """
+
+    label: str
+    category: str
+    values: List[float]
+    probabilities: List[float]
+
+
+@dataclass(frozen=True)
+class ShareBar:
+    """One stacked bar of Figure 2.
+
+    Attributes:
+        label: Server id or provider label.
+        sntp_fraction / ntp_fraction: The two stack segments (sum 1.0).
+        total_clients: Clients behind the bar.
+    """
+
+    label: str
+    sntp_fraction: float
+    ntp_fraction: float
+    total_clients: int
+
+
+def figure1_boxplots(study: LogStudy, server_id: str) -> List[BoxplotStats]:
+    """Figure-1-left data: per-provider min-OWD boxplots, SP order."""
+    out: List[BoxplotStats] = []
+    for pl in study.figure1(server_id):
+        values = np.asarray(pl.min_owds, dtype=float)
+        if values.size == 0:
+            continue
+        q1 = float(np.percentile(values, 25))
+        q3 = float(np.percentile(values, 75))
+        iqr = q3 - q1
+        low_bound = q1 - 1.5 * iqr
+        high_bound = q3 + 1.5 * iqr
+        inside = values[(values >= low_bound) & (values <= high_bound)]
+        whisk = inside if inside.size else values
+        # With tiny samples, the interpolated quartiles can fall outside
+        # the in-whisker data; clamp so whiskers always bracket the box.
+        whisker_low = min(float(whisk.min()), q1)
+        whisker_high = max(float(whisk.max()), q3)
+        out.append(BoxplotStats(
+            label=f"SP {pl.provider.sp_id}",
+            category=pl.category,
+            minimum=float(values.min()),
+            q1=q1,
+            median=float(np.median(values)),
+            q3=q3,
+            maximum=float(values.max()),
+            whisker_low=whisker_low,
+            whisker_high=whisker_high,
+            count=int(values.size),
+        ))
+    return out
+
+
+def figure1_cdfs(study: LogStudy, server_id: str) -> List[CdfSeries]:
+    """Figure-1-right data: per-provider min-OWD CDFs, SP order."""
+    out: List[CdfSeries] = []
+    for pl in study.figure1(server_id):
+        values = sorted(pl.min_owds)
+        if not values:
+            continue
+        n = len(values)
+        out.append(CdfSeries(
+            label=f"SP {pl.provider.sp_id}",
+            category=pl.category,
+            values=[float(v) for v in values],
+            probabilities=[(i + 1) / n for i in range(n)],
+        ))
+    return out
+
+
+def figure2_server_bars(study: LogStudy) -> List[ShareBar]:
+    """Figure-2-left data: per-server SNTP/NTP stacked bars."""
+    out: List[ShareBar] = []
+    for server_id, (sntp, ntp) in study.figure2_per_server().items():
+        total = sntp + ntp
+        if total == 0:
+            continue
+        out.append(ShareBar(
+            label=server_id,
+            sntp_fraction=sntp / total,
+            ntp_fraction=ntp / total,
+            total_clients=total,
+        ))
+    return out
+
+
+def figure2_provider_bars(study: LogStudy, server_id: str) -> List[ShareBar]:
+    """Figure-2-right data: per-provider stacked bars at one server."""
+    out: List[ShareBar] = []
+    for name, (sntp, ntp) in sorted(study.figure2_per_provider(server_id).items()):
+        total = sntp + ntp
+        if total == 0:
+            continue
+        out.append(ShareBar(
+            label=name,
+            sntp_fraction=sntp / total,
+            ntp_fraction=ntp / total,
+            total_clients=total,
+        ))
+    return out

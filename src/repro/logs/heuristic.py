@@ -1,0 +1,68 @@
+"""Synchronized-client filtering heuristic (Durairajan et al. [23]).
+
+The OWD estimate ``capture_ts - origin_ts`` embeds the client's clock
+offset; clients whose clocks are far from true produce negative or
+absurdly large "delays".  The heuristic infers the synchronization
+state of each client and discards invalid latency measurements:
+
+* a sample is *plausible* if its OWD lies in ``(0, max_owd)``;
+* a client is *synchronized* if at least ``min_valid_fraction`` of its
+  samples are plausible and its minimum plausible OWD is below
+  ``max_min_owd`` (a synchronized client's floor is a real propagation
+  delay, not an offset artefact).
+
+Only the plausible samples of synchronized clients survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.logs.parser import ClientObservation
+
+
+@dataclass(frozen=True)
+class HeuristicParams:
+    """Filter thresholds.
+
+    Attributes:
+        max_owd: Upper plausibility bound on a single OWD sample
+            (the paper observes real OWDs up to ~1 s; 3 s is generous).
+        max_min_owd: Upper bound on a synchronized client's floor.
+        min_valid_fraction: Share of plausible samples required.
+    """
+
+    max_owd: float = 3.0
+    max_min_owd: float = 2.0
+    min_valid_fraction: float = 0.8
+
+
+def filter_synchronized_clients(
+    observations: Dict[str, ClientObservation],
+    params: HeuristicParams = HeuristicParams(),
+) -> Dict[str, ClientObservation]:
+    """Return filtered observations for synchronized clients only.
+
+    Each surviving :class:`ClientObservation` is a copy whose
+    ``owd_estimates`` contain just the plausible samples.
+    """
+    filtered: Dict[str, ClientObservation] = {}
+    for ip, obs in observations.items():
+        if not obs.owd_estimates:
+            continue
+        plausible = [o for o in obs.owd_estimates if 0.0 < o < params.max_owd]
+        if not plausible:
+            continue
+        if len(plausible) / len(obs.owd_estimates) < params.min_valid_fraction:
+            continue
+        if min(plausible) > params.max_min_owd:
+            continue
+        filtered[ip] = ClientObservation(
+            ip=obs.ip,
+            owd_estimates=plausible,
+            sntp_requests=obs.sntp_requests,
+            ntp_requests=obs.ntp_requests,
+            ip_version=obs.ip_version,
+        )
+    return filtered

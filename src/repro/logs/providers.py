@@ -1,0 +1,107 @@
+"""The synthetic top-25 service providers.
+
+Figure 1 ranks the top-25 providers (by unique clients) into four
+latency categories; Figure 2 reports that >95 % of mobile-provider
+clients speak SNTP.  Provider names are synthetic (the paper anonymises
+them) but carry the keywords the classifier looks for, exactly as real
+reverse-DNS names do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.net.internet import PROVIDER_CATEGORY_PROFILES, CategoryProfile
+
+
+@dataclass(frozen=True)
+class Provider:
+    """One service provider population.
+
+    Attributes:
+        sp_id: Rank used in Figure 1 (SP 1-25).
+        name: AS / organisation name (carries classification keywords).
+        domain: Reverse-DNS suffix for client hostnames.
+        category: Latency category key ("cloud", "isp", ...).
+        asn: Synthetic AS number.
+        prefix16: Second octet of the provider's 10.x.0.0/16 block.
+        client_weight: Relative share of a server's client population.
+        sntp_share: Fraction of this provider's clients using SNTP.
+        latency_scale: Multiplier on the category's median min-OWD
+            (spreads providers within a category).
+    """
+
+    sp_id: int
+    name: str
+    domain: str
+    category: str
+    asn: int
+    prefix16: int
+    client_weight: float
+    sntp_share: float
+    latency_scale: float = 1.0
+
+    @property
+    def profile(self) -> CategoryProfile:
+        """The provider's latency category profile."""
+        return PROVIDER_CATEGORY_PROFILES[self.category]
+
+
+def _p(sp, name, domain, category, weight, sntp, scale=1.0) -> Provider:
+    return Provider(
+        sp_id=sp,
+        name=name,
+        domain=domain,
+        category=category,
+        asn=64_500 + sp,
+        prefix16=sp,
+        client_weight=weight,
+        sntp_share=sntp,
+        latency_scale=scale,
+    )
+
+
+#: SP 1-3 cloud/hosting, SP 4-9 ISPs, SP 10-21 broadband, SP 22-25 mobile.
+PROVIDERS: List[Provider] = [
+    _p(1, "Nimbus Cloud Hosting", "nimbus-cloud.example", "cloud", 6.0, 0.15, 0.9),
+    _p(2, "Vertex Amazon-class Datacenters", "vertexdc.example", "cloud", 5.0, 0.20, 1.0),
+    _p(3, "StratoServe Hosting", "stratoserve.example", "cloud", 4.0, 0.25, 1.1),
+    _p(4, "Heartland Internet Service", "heartland-isp.example", "isp", 5.5, 0.45, 0.9),
+    _p(5, "Lakeshore Internet", "lakeshore-net.example", "isp", 5.0, 0.50, 1.0),
+    _p(6, "Summit Internet Exchange", "summit-ix.example", "isp", 4.5, 0.40, 1.0),
+    _p(7, "Prairie Fiber ISP", "prairiefiber.example", "isp", 4.0, 0.55, 1.1),
+    _p(8, "Bluewater Networks", "bluewater.example", "isp", 3.5, 0.50, 1.2),
+    _p(9, "Canyon Internet Co", "canyon-net.example", "isp", 3.0, 0.45, 1.2),
+    _p(10, "Maple DSL Broadband", "maple-dsl.example", "broadband", 4.5, 0.65, 0.8),
+    _p(11, "Harbor Cable Broadband", "harborcable.example", "broadband", 4.2, 0.70, 0.85),
+    _p(12, "Pioneer Home Internet", "pioneerhome.example", "broadband", 4.0, 0.60, 0.9),
+    _p(13, "Foothill Cable", "foothillcable.example", "broadband", 3.8, 0.68, 0.95),
+    _p(14, "Riverbend Broadband", "riverbend-bb.example", "broadband", 3.6, 0.72, 1.0),
+    _p(15, "Lighthouse Cable", "lighthouse-catv.example", "broadband", 3.4, 0.66, 1.0),
+    _p(16, "Sierra Residential Net", "sierra-res.example", "broadband", 3.2, 0.62, 1.05),
+    _p(17, "Cascade Home Broadband", "cascadehome.example", "broadband", 3.0, 0.70, 1.1),
+    _p(18, "Gulfport Cable", "gulfportcable.example", "broadband", 2.8, 0.64, 1.1),
+    _p(19, "Keystone DSL", "keystone-dsl.example", "broadband", 2.6, 0.67, 1.15),
+    _p(20, "Redwood Residential", "redwood-res.example", "broadband", 2.4, 0.61, 1.2),
+    _p(21, "Bayline Cable Internet", "bayline-catv.example", "broadband", 2.2, 0.69, 1.25),
+    _p(22, "Meridian Mobile Wireless", "meridian-mobile.example", "mobile", 5.5, 0.98, 0.9),
+    _p(23, "Aurora Cellular", "aurora-cell.example", "mobile", 5.0, 0.97, 1.0),
+    _p(24, "Pinnacle Wireless 4G", "pinnacle-wireless.example", "mobile", 4.5, 0.99, 1.1),
+    _p(25, "Horizon Mobile Sprint-class", "horizon-mobile.example", "mobile", 4.0, 0.96, 1.2),
+]
+
+
+def top_providers(count: int = 25) -> List[Provider]:
+    """The top ``count`` providers by client weight (Figure 1's ranking
+    is by unique IPs; weight is its generator-side analogue)."""
+    ranked = sorted(PROVIDERS, key=lambda p: -p.client_weight)
+    return ranked[:count]
+
+
+def provider_by_sp(sp_id: int) -> Provider:
+    """Look up a provider by its SP rank."""
+    for provider in PROVIDERS:
+        if provider.sp_id == sp_id:
+            return provider
+    raise KeyError(f"no provider SP {sp_id}")

@@ -1,0 +1,93 @@
+"""The 19 NTP servers of Table 1.
+
+All published per-server attributes are transcribed here; the trace
+generator subsamples the client populations deterministically (running
+209 million packets through a Python pipeline is pointless), and the
+analysis reports both the published and the generated counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ServerDescriptor:
+    """One NTP server's published statistics.
+
+    Attributes:
+        server_id: Anonymised name from Table 1.
+        unique_clients: Published unique client count.
+        stratum: Server stratum (1 or 2).
+        ip_versions: ("v4",) or ("v4", "v6").
+        total_measurements: Published OWD measurement count.
+        isp_specific: CI1-4 / EN1-2 are ISP-internal servers whose
+            clients are mostly full-NTP infrastructure hosts.
+        server_ip: Synthetic address the generator uses.
+    """
+
+    server_id: str
+    unique_clients: int
+    stratum: int
+    ip_versions: Tuple[str, ...]
+    total_measurements: int
+    isp_specific: bool = False
+
+    @property
+    def server_ip(self) -> str:
+        """Deterministic synthetic server address."""
+        index = [s.server_id for s in TABLE1_SERVERS].index(self.server_id)
+        return f"192.0.2.{index + 1}"
+
+    @property
+    def mean_requests_per_client(self) -> float:
+        """Published measurements / clients — drives the generator's
+        per-client request-count distribution."""
+        return self.total_measurements / max(1, self.unique_clients)
+
+
+def _s(sid, clients, stratum, versions, meas, isp=False) -> ServerDescriptor:
+    return ServerDescriptor(
+        server_id=sid,
+        unique_clients=clients,
+        stratum=stratum,
+        ip_versions=versions,
+        total_measurements=meas,
+        isp_specific=isp,
+    )
+
+
+V4 = ("v4",)
+V46 = ("v4", "v6")
+
+#: Transcription of Table 1.
+TABLE1_SERVERS: List[ServerDescriptor] = [
+    _s("AG1", 639_704, 2, V4, 9_988_576),
+    _s("CI1", 606, 2, V46, 1_480_571, isp=True),
+    _s("CI2", 359, 2, V46, 1_268_928, isp=True),
+    _s("CI3", 335, 2, V46, 812_104, isp=True),
+    _s("CI4", 262, 2, V46, 763_847, isp=True),
+    _s("EN1", 228, 2, V46, 411_253, isp=True),
+    _s("EN2", 232, 2, V46, 437_440, isp=True),
+    _s("JW1", 12_769, 1, V4, 354_530),
+    _s("JW2", 35_548, 1, V4, 869_721),
+    _s("MW1", 2_746, 1, V4, 197_900),
+    _s("MW2", 9_482_918, 2, V4, 46_232_069),
+    _s("MW3", 1_141_163, 2, V4, 10_948_402),
+    _s("MW4", 2_525_072, 2, V4, 11_126_121),
+    _s("MI1", 1_078_308, 1, V4, 63_907_095),
+    _s("SU1", 21_101, 1, V46, 16_404_882),
+    _s("UI1", 36_559, 2, V4, 18_426_282),
+    _s("UI2", 18_925, 2, V4, 14_194_081),
+    _s("UI3", 177_957, 2, V4, 9_254_843),
+    _s("PP1", 128_644, 2, V46, 2_369_277),
+]
+
+
+def server_by_id(server_id: str) -> ServerDescriptor:
+    """Look up a Table-1 server by name."""
+    for server in TABLE1_SERVERS:
+        if server.server_id == server_id:
+            return server
+    raise KeyError(f"no server {server_id!r}")

@@ -1,0 +1,19 @@
+"""Statistics helpers shared by the analysis pipeline and benches."""
+
+from repro.metrics.stats import rmse, summary, robust_mean_std, Summary
+from repro.metrics.distributions import empirical_cdf, quantile, iqr
+from repro.metrics.timeseries import OffsetSeries
+from repro.metrics.allan import allan_deviation, allan_deviation_curve
+
+__all__ = [
+    "rmse",
+    "summary",
+    "robust_mean_std",
+    "Summary",
+    "empirical_cdf",
+    "quantile",
+    "iqr",
+    "OffsetSeries",
+    "allan_deviation",
+    "allan_deviation_curve",
+]

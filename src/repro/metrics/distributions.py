@@ -1,0 +1,42 @@
+"""Distribution helpers for the figure reproductions (CDFs, quantiles)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, cumulative probabilities) for a CDF plot.
+
+    Probabilities use the ``i/n`` convention so the last point is 1.0.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Quantile ``q`` in [0, 1] (linear interpolation); 0.0 if empty."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.quantile(arr, q))
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range — the paper's spread measure in Figure 1."""
+    return quantile(values, 0.75) - quantile(values, 0.25)
+
+
+def cdf_at(values: Sequence[float], thresholds: Sequence[float]) -> List[float]:
+    """Fraction of ``values`` at or below each threshold."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return [0.0 for _ in thresholds]
+    return [float((arr <= t).mean()) for t in thresholds]

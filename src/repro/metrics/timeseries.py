@@ -1,0 +1,92 @@
+"""Offset time-series container with resampling helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class OffsetSeries:
+    """An ordered (time, offset) series with analysis conveniences.
+
+    Times must be non-decreasing; values are seconds.
+    """
+
+    def __init__(self, times: Sequence[float] = (), offsets: Sequence[float] = ()) -> None:
+        if len(times) != len(offsets):
+            raise ValueError("times and offsets must have equal length")
+        self._times = list(map(float, times))
+        self._offsets = list(map(float, offsets))
+        if any(b < a for a, b in zip(self._times, self._times[1:])):
+            raise ValueError("times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, offset: float) -> None:
+        """Append a point (must not go back in time)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError("appended time goes backwards")
+        self._times.append(float(time))
+        self._offsets.append(float(offset))
+
+    @classmethod
+    def from_points(cls, points: Iterable) -> "OffsetSeries":
+        """Build from objects with ``.time`` and ``.offset`` attributes."""
+        times, offsets = [], []
+        for p in points:
+            times.append(p.time)
+            offsets.append(p.offset)
+        return cls(times, offsets)
+
+    @property
+    def times(self) -> List[float]:
+        """Copy of the time axis."""
+        return list(self._times)
+
+    @property
+    def offsets(self) -> List[float]:
+        """Copy of the offset values."""
+        return list(self._offsets)
+
+    def abs_offsets(self) -> np.ndarray:
+        """Absolute offsets as an array."""
+        return np.abs(np.asarray(self._offsets))
+
+    def window(self, start: float, end: float) -> "OffsetSeries":
+        """Sub-series with start <= time < end."""
+        times, offsets = [], []
+        for t, o in zip(self._times, self._offsets):
+            if start <= t < end:
+                times.append(t)
+                offsets.append(o)
+        return OffsetSeries(times, offsets)
+
+    def resample_max_abs(self, bin_width: float) -> "Tuple[List[float], List[float]]":
+        """Max-|offset| per time bin — used to render long series as
+        compact text plots without hiding the spikes."""
+        if bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        if not self._times:
+            return [], []
+        start = self._times[0]
+        bins: List[float] = []
+        values: List[float] = []
+        current_bin = start
+        current_max = 0.0
+        has_any = False
+        for t, o in zip(self._times, self._offsets):
+            while t >= current_bin + bin_width:
+                if has_any:
+                    bins.append(current_bin)
+                    values.append(current_max)
+                current_bin += bin_width
+                current_max = 0.0
+                has_any = False
+            current_max = max(current_max, abs(o))
+            has_any = True
+        if has_any:
+            bins.append(current_bin)
+            values.append(current_max)
+        return bins, values

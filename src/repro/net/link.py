@@ -1,0 +1,82 @@
+"""Link: glues a pair of PathModels to the simulator event queue.
+
+A :class:`Link` moves :class:`~repro.net.message.Datagram` objects from
+one endpoint to another with sampled delay/loss, invoking the receiver
+callback at the delivery instant.  Extra per-packet delay and loss
+contributed by higher-level effects (e.g. the wireless channel state at
+transmission time) is injected via optional hook callables, keeping the
+wireless model decoupled from the transport plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.message import Datagram
+from repro.net.path import PathModel
+from repro.simcore.simulator import Simulator
+
+ReceiveFn = Callable[[Datagram], None]
+ExtraEffectFn = Callable[[], "LinkEffect"]
+
+
+class LinkEffect:
+    """Additional (delay, loss) contributed by a dynamic effect source."""
+
+    __slots__ = ("extra_delay", "lost")
+
+    def __init__(self, extra_delay: float = 0.0, lost: bool = False) -> None:
+        self.extra_delay = extra_delay
+        self.lost = lost
+
+
+class Link:
+    """Unidirectional datagram pipe with stochastic delay and loss.
+
+    Args:
+        sim: The simulation kernel (supplies time and scheduling).
+        path: Base path delay/loss model for this direction.
+        receive: Callback invoked with each delivered datagram.
+        effect_hook: Optional callable sampled per packet for extra
+            delay/loss (the wireless channel plugs in here).
+        name: Label used in trace records.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: PathModel,
+        receive: ReceiveFn,
+        effect_hook: Optional[ExtraEffectFn] = None,
+        name: str = "link",
+    ) -> None:
+        self._sim = sim
+        self.path = path
+        self._receive = receive
+        self._effect_hook = effect_hook
+        self.name = name
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def send(self, datagram: Datagram) -> None:
+        """Inject ``datagram``; it is delivered (or dropped) later."""
+        self.sent += 1
+        datagram.sent_at = self._sim.now
+        sample = self.path.sample()
+        effect = self._effect_hook() if self._effect_hook else LinkEffect()
+        if sample.lost or effect.lost:
+            datagram.dropped = True
+            self.lost += 1
+            self._sim.trace.emit(
+                self._sim.now, self.name, "drop", ident=datagram.ident, dst=datagram.dst
+            )
+            return
+        delay = sample.delay + effect.extra_delay
+
+        def deliver() -> None:
+            datagram.delivered_at = self._sim.now
+            self.delivered += 1
+            self._receive(datagram)
+
+        self._sim.call_after(delay, deliver, label=f"{self.name}:deliver")

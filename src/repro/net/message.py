@@ -1,0 +1,48 @@
+"""Datagram container used by the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_datagram_ids = itertools.count(1)
+
+
+@dataclass
+class Datagram:
+    """A UDP-like message in flight through the simulated network.
+
+    Attributes:
+        payload: Raw wire bytes (e.g. an encoded NTP packet).
+        src: Source address label (free-form, e.g. ``"tn"``).
+        dst: Destination address label.
+        src_port / dst_port: UDP-style ports; clients allocate a unique
+            source port per query and servers echo it back, which is
+            how responses find the right outstanding request.
+        sent_at: True (virtual) time the datagram left the sender.
+        delivered_at: True time of delivery; None while in flight/lost.
+        dropped: True if the network dropped the datagram.
+        ident: Unique id for tracing request/response pairs.
+    """
+
+    payload: bytes
+    src: str
+    dst: str
+    src_port: int = 0
+    dst_port: int = 123
+    sent_at: float = 0.0
+    delivered_at: Optional[float] = None
+    dropped: bool = False
+    ident: int = field(default_factory=lambda: next(_datagram_ids))
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    def owd(self) -> Optional[float]:
+        """One-way delay experienced, or None if not (yet) delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at

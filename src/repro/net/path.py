@@ -1,0 +1,85 @@
+"""One-way path delay/loss model.
+
+A :class:`PathModel` produces per-packet one-way delays composed of a
+fixed propagation base, a queueing term (Gamma-distributed, the common
+empirical fit for access-network queueing), and occasional heavy-tail
+spikes (bufferbloat episodes).  Loss is Bernoulli per packet.  The two
+directions of a path are modelled by two independent ``PathModel``
+instances so asymmetry — a first-order concern for NTP offset error —
+falls out naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DelaySample:
+    """Result of sampling the path for one packet.
+
+    Attributes:
+        delay: One-way delay in seconds (meaningless if ``lost``).
+        lost: Whether the packet was dropped.
+    """
+
+    delay: float
+    lost: bool
+
+
+class PathModel:
+    """Stochastic one-way delay and loss generator.
+
+    Args:
+        rng: Random stream for this path direction.
+        base_delay: Fixed propagation+transmission floor (seconds).
+        queue_mean: Mean of the Gamma queueing term (seconds).
+        queue_shape: Gamma shape; small values give burstier queueing.
+        loss_rate: Bernoulli packet loss probability.
+        spike_rate: Probability a packet hits a bufferbloat episode.
+        spike_scale: Exponential scale of the spike magnitude (seconds).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        base_delay: float = 0.020,
+        queue_mean: float = 0.003,
+        queue_shape: float = 1.2,
+        loss_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_scale: float = 0.100,
+    ) -> None:
+        if base_delay < 0 or queue_mean < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if not 0.0 <= spike_rate < 1.0:
+            raise ValueError("spike rate must be in [0, 1)")
+        if queue_shape <= 0:
+            raise ValueError("queue shape must be positive")
+        self._rng = rng
+        self.base_delay = float(base_delay)
+        self.queue_mean = float(queue_mean)
+        self.queue_shape = float(queue_shape)
+        self.loss_rate = float(loss_rate)
+        self.spike_rate = float(spike_rate)
+        self.spike_scale = float(spike_scale)
+
+    def sample(self) -> DelaySample:
+        """Draw the fate of one packet on this path direction."""
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            return DelaySample(delay=float("inf"), lost=True)
+        delay = self.base_delay
+        if self.queue_mean > 0:
+            scale = self.queue_mean / self.queue_shape
+            delay += float(self._rng.gamma(self.queue_shape, scale))
+        if self.spike_rate > 0 and self._rng.random() < self.spike_rate:
+            delay += float(self._rng.exponential(self.spike_scale))
+        return DelaySample(delay=delay, lost=False)
+
+    def min_delay(self) -> float:
+        """The propagation floor — what min-OWD filtering converges to."""
+        return self.base_delay

@@ -1,0 +1,62 @@
+"""NTP / SNTP protocol implementation.
+
+Implements the RFC 5905 wire format and the full reference processing
+pipeline (clock filter, intersection/select, cluster, combine,
+PLL/FLL discipline), plus the RFC 4330 SNTP client behaviour that
+mobile devices actually ship (including Android's retry/threshold
+quirks documented in the paper's §2).
+"""
+
+from repro.ntp.constants import LeapIndicator, Mode, NTP_PORT, NTP_UNIX_EPOCH_DELTA
+from repro.ntp.timestamps import (
+    ntp_to_unix,
+    unix_to_ntp,
+    encode_timestamp,
+    decode_timestamp,
+    encode_short,
+    decode_short,
+)
+from repro.ntp.packet import NtpPacket
+from repro.ntp.wire import compute_offset_delay, OffsetSample
+from repro.ntp.server import NtpServer, ServerPersona
+from repro.ntp.sntp_client import SntpClient, SntpResult, AndroidSntpPolicy
+from repro.ntp.clock_filter import ClockFilter, FilterSample
+from repro.ntp.select import intersection, SelectInterval
+from repro.ntp.cluster import cluster_survivors
+from repro.ntp.combine import combine_offsets
+from repro.ntp.discipline import ClockDiscipline, DisciplineParams
+from repro.ntp.pool import PoolDns
+from repro.ntp.broadcast import BroadcastServer, BroadcastClient, BroadcastSample
+
+__all__ = [
+    "LeapIndicator",
+    "Mode",
+    "NTP_PORT",
+    "NTP_UNIX_EPOCH_DELTA",
+    "ntp_to_unix",
+    "unix_to_ntp",
+    "encode_timestamp",
+    "decode_timestamp",
+    "encode_short",
+    "decode_short",
+    "NtpPacket",
+    "compute_offset_delay",
+    "OffsetSample",
+    "NtpServer",
+    "ServerPersona",
+    "SntpClient",
+    "SntpResult",
+    "AndroidSntpPolicy",
+    "ClockFilter",
+    "FilterSample",
+    "intersection",
+    "SelectInterval",
+    "cluster_survivors",
+    "combine_offsets",
+    "ClockDiscipline",
+    "DisciplineParams",
+    "PoolDns",
+    "BroadcastServer",
+    "BroadcastClient",
+    "BroadcastSample",
+]

@@ -1,0 +1,151 @@
+"""Broadcast SNTP (RFC 4330 / RFC 5905 mode 5).
+
+The third client mode the SNTP spec defines: the server periodically
+multicasts its time; listeners apply it after adding a locally
+calibrated one-way delay.  No requests, no per-client state — even
+lighter than unicast SNTP, but the accuracy is bounded by how well the
+fixed delay estimate matches the real path (there is no round-trip
+measurement to cancel it), which is why it only suits LANs.
+
+Included for protocol completeness; on the paper's wireless hop its
+errors are the full one-way-delay excursions, strictly worse than
+unicast SNTP's half-asymmetry errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.clock.simclock import SimClock
+from repro.net.message import Datagram
+from repro.ntp.constants import LeapIndicator, Mode
+from repro.ntp.packet import NtpPacket
+from repro.simcore.simulator import Simulator
+
+
+class BroadcastServer:
+    """Periodically multicasts mode-5 packets carrying server time.
+
+    Args:
+        sim: Simulation kernel.
+        clock: The server's clock.
+        send: Callable delivering the datagram toward the listeners
+            (the topology fans it out).
+        interval: Broadcast period (RFC suggests ~64 s; LAN deployments
+            often use less).
+        stratum: Advertised stratum.
+        name: Source address label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: SimClock,
+        send: Callable[[Datagram], None],
+        interval: float = 64.0,
+        stratum: int = 2,
+        name: str = "broadcast-server",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("broadcast interval must be positive")
+        self._sim = sim
+        self.clock = clock
+        self._send = send
+        self.interval = interval
+        self.stratum = stratum
+        self.name = name
+        self.broadcasts_sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin the broadcast cycle."""
+        self._running = True
+        self._sim.call_after(0.0, self._broadcast, label="bcast:send")
+
+    def stop(self) -> None:
+        """Halt broadcasting."""
+        self._running = False
+
+    def _broadcast(self) -> None:
+        if not self._running:
+            return
+        packet = NtpPacket(
+            leap=LeapIndicator.NO_WARNING,
+            version=4,
+            mode=Mode.BROADCAST,
+            stratum=self.stratum,
+            poll=6,
+            precision=-20,
+            ref_id=b"GPS\x00",
+            reference_ts=self.clock.read() - 16.0,
+            transmit_ts=self.clock.read(),
+        )
+        self._send(Datagram(payload=packet.encode(), src=self.name,
+                            dst="broadcast"))
+        self.broadcasts_sent += 1
+        self._sim.call_after(self.interval, self._broadcast, label="bcast:send")
+
+
+@dataclass(frozen=True)
+class BroadcastSample:
+    """One received broadcast's derived offset.
+
+    Attributes:
+        time: Local receive time.
+        offset: Estimated (server - client) offset after adding the
+            calibrated delay.
+        raw_transmit: The server transmit timestamp carried.
+    """
+
+    time: float
+    offset: float
+    raw_transmit: float
+
+
+class BroadcastClient:
+    """Listens for mode-5 packets and derives offsets.
+
+    Args:
+        sim: Simulation kernel.
+        clock: The listener's local clock.
+        calibrated_delay: Assumed one-way delay from server to listener
+            (seconds).  RFC 4330 expects this to be measured once via a
+            unicast exchange at startup; here it is a constructor
+            parameter so tests can explore miscalibration directly.
+        on_sample: Optional callback per received broadcast.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: SimClock,
+        calibrated_delay: float = 0.0,
+        on_sample: Optional[Callable[[BroadcastSample], None]] = None,
+    ) -> None:
+        if calibrated_delay < 0:
+            raise ValueError("calibrated delay must be non-negative")
+        self._sim = sim
+        self.clock = clock
+        self.calibrated_delay = calibrated_delay
+        self.on_sample = on_sample
+        self.samples: List[BroadcastSample] = []
+
+    def on_datagram(self, datagram: Datagram) -> None:
+        """Receive-side entry point for broadcast packets."""
+        try:
+            packet = NtpPacket.decode(datagram.payload, pivot_unix=self._sim.now)
+        except ValueError:
+            return
+        if packet.mode != Mode.BROADCAST or packet.transmit_ts is None:
+            return
+        local = self.clock.read()
+        # server time at arrival ~ transmit + path delay; offset is the
+        # difference from the local clock.
+        offset = (packet.transmit_ts + self.calibrated_delay) - local
+        sample = BroadcastSample(
+            time=local, offset=offset, raw_transmit=packet.transmit_ts
+        )
+        self.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)

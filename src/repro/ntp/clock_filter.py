@@ -1,0 +1,105 @@
+"""The NTP clock filter (RFC 5905 §10).
+
+Per association, the last eight (offset, delay, dispersion) tuples are
+kept in a shift register.  The tuple with the **lowest delay** wins —
+low round-trip delay correlates with low asymmetry error, which is the
+insight that lets full NTP shrug off the queueing spikes that cripple
+SNTP.  A *popcorn spike suppressor* additionally discards a sample
+whose offset jumps more than ``popcorn_gate`` times the jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+#: Per-second dispersion growth rate (RFC 5905 PHI).
+PHI = 15e-6
+
+#: Shift register depth.
+STAGES = 8
+
+
+@dataclass(frozen=True)
+class FilterSample:
+    """One filter-stage tuple.
+
+    Attributes:
+        offset: Measured offset (server - client), seconds.
+        delay: Round-trip delay, seconds.
+        dispersion: Sample dispersion at measurement time.
+        epoch: Local time of measurement (for dispersion aging).
+    """
+
+    offset: float
+    delay: float
+    dispersion: float
+    epoch: float
+
+
+class ClockFilter:
+    """Eight-stage minimum-delay clock filter with popcorn suppression.
+
+    Args:
+        popcorn_gate: Spike gate multiplier (RFC default 3).
+        min_dispersion: Floor on sample dispersion.
+    """
+
+    def __init__(self, popcorn_gate: float = 3.0, min_dispersion: float = 0.001) -> None:
+        self._stages: Deque[FilterSample] = deque(maxlen=STAGES)
+        self.popcorn_gate = popcorn_gate
+        self.min_dispersion = min_dispersion
+        self._last_best: Optional[FilterSample] = None
+        self.samples_in = 0
+        self.popcorn_discards = 0
+
+    def add(self, offset: float, delay: float, epoch: float, dispersion: float = 0.0) -> None:
+        """Insert a new sample into the shift register."""
+        self.samples_in += 1
+        sample = FilterSample(
+            offset=offset,
+            delay=delay,
+            dispersion=max(self.min_dispersion, dispersion),
+            epoch=epoch,
+        )
+        if self._is_popcorn(sample):
+            self.popcorn_discards += 1
+            return
+        self._stages.append(sample)
+
+    def _is_popcorn(self, sample: FilterSample) -> bool:
+        if self._last_best is None or len(self._stages) < 2:
+            return False
+        jitter = max(self.jitter(), 1e-6)
+        return abs(sample.offset - self._last_best.offset) > self.popcorn_gate * jitter
+
+    def best(self, now: float) -> Optional[FilterSample]:
+        """Return the minimum-delay sample, dispersion aged to ``now``."""
+        if not self._stages:
+            return None
+        candidate = min(self._stages, key=lambda s: s.delay)
+        aged = FilterSample(
+            offset=candidate.offset,
+            delay=candidate.delay,
+            dispersion=candidate.dispersion + PHI * max(0.0, now - candidate.epoch),
+            epoch=candidate.epoch,
+        )
+        self._last_best = aged
+        return aged
+
+    def jitter(self) -> float:
+        """RMS offset difference from the current best sample."""
+        if len(self._stages) < 2:
+            return 0.0
+        best = min(self._stages, key=lambda s: s.delay)
+        diffs = [s.offset - best.offset for s in self._stages if s is not best]
+        return math.sqrt(sum(d * d for d in diffs) / len(diffs))
+
+    def samples(self) -> List[FilterSample]:
+        """Copy of the current register contents (oldest first)."""
+        return list(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)

@@ -1,0 +1,56 @@
+"""Cluster algorithm (RFC 5905 §11.2.2).
+
+Given the truechimers that survived the intersection algorithm, the
+cluster algorithm repeatedly casts off the survivor with the greatest
+*selection jitter* (RMS distance of its offset from the others') until
+either the minimum survivor count is reached or the worst selection
+jitter is no larger than the best individual jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class ClusterCandidate:
+    """A survivor entering the cluster algorithm.
+
+    Attributes:
+        source: Identifier.
+        offset: Filtered offset estimate.
+        jitter: The source's own filter jitter.
+        root_distance: Used as the selection weight (lower = better).
+    """
+
+    source: str
+    offset: float
+    jitter: float
+    root_distance: float
+
+
+def _selection_jitter(candidate: ClusterCandidate, others: Sequence[ClusterCandidate]) -> float:
+    if not others:
+        return 0.0
+    acc = sum((candidate.offset - o.offset) ** 2 for o in others)
+    return math.sqrt(acc / len(others))
+
+
+def cluster_survivors(
+    candidates: Sequence[ClusterCandidate], min_survivors: int = 3
+) -> List[ClusterCandidate]:
+    """Prune outliers until the cluster is tight; returns survivors
+    sorted by root distance (best first)."""
+    survivors = list(candidates)
+    while len(survivors) > max(1, min_survivors):
+        sel_jitters = [
+            _selection_jitter(c, [o for o in survivors if o is not c]) for c in survivors
+        ]
+        worst_idx = max(range(len(survivors)), key=lambda i: sel_jitters[i])
+        min_own_jitter = min(c.jitter for c in survivors)
+        if sel_jitters[worst_idx] <= min_own_jitter:
+            break
+        survivors.pop(worst_idx)
+    return sorted(survivors, key=lambda c: c.root_distance)

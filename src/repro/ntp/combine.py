@@ -1,0 +1,38 @@
+"""Combine algorithm (RFC 5905 §11.2.3).
+
+Produces the final offset estimate as a weighted average of the cluster
+survivors, weights inversely proportional to root distance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.ntp.cluster import ClusterCandidate
+
+
+def combine_offsets(survivors: Sequence[ClusterCandidate]) -> Tuple[float, float]:
+    """Return (combined offset, combined jitter).
+
+    Raises:
+        ValueError: With an empty survivor list.
+    """
+    if not survivors:
+        raise ValueError("combine requires at least one survivor")
+    total_weight = 0.0
+    weighted_offset = 0.0
+    for c in survivors:
+        weight = 1.0 / max(1e-9, c.root_distance)
+        total_weight += weight
+        weighted_offset += weight * c.offset
+    offset = weighted_offset / total_weight
+
+    # Combined jitter: weighted RMS of survivor offsets about the estimate,
+    # floored by the best survivor's own jitter.
+    acc = 0.0
+    for c in survivors:
+        weight = 1.0 / max(1e-9, c.root_distance)
+        acc += weight * (c.offset - offset) ** 2
+    spread = (acc / total_weight) ** 0.5
+    jitter = max(spread, min(c.jitter for c in survivors))
+    return offset, jitter

@@ -1,0 +1,56 @@
+"""NTP protocol constants (RFC 5905 / RFC 4330)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: UDP port NTP listens on.
+NTP_PORT = 123
+
+#: Seconds between the NTP era-0 epoch (1900-01-01) and the Unix epoch
+#: (1970-01-01): 70 years including 17 leap days.
+NTP_UNIX_EPOCH_DELTA = 2_208_988_800
+
+#: Length of the base NTP header in bytes.
+NTP_HEADER_LEN = 48
+
+#: Maximum stratum; 16 (displayed as 0 "unspecified") means unsynchronised.
+MAX_STRATUM = 15
+
+#: KoD / special reference identifiers.
+REFID_GPS = b"GPS\x00"
+REFID_ATOM = b"ATOM"
+REFID_PPS = b"PPS\x00"
+REFID_RATE = b"RATE"  # kiss-of-death: rate limiting
+
+
+class LeapIndicator(IntEnum):
+    """2-bit leap indicator field."""
+
+    NO_WARNING = 0
+    LAST_MINUTE_61 = 1
+    LAST_MINUTE_59 = 2
+    ALARM = 3  # clock unsynchronised
+
+
+class Mode(IntEnum):
+    """3-bit association mode field."""
+
+    RESERVED = 0
+    SYMMETRIC_ACTIVE = 1
+    SYMMETRIC_PASSIVE = 2
+    CLIENT = 3
+    SERVER = 4
+    BROADCAST = 5
+    CONTROL = 6
+    PRIVATE = 7
+
+
+class Version(IntEnum):
+    """Protocol versions seen in the wild (the paper's server logs carry
+    a mix of v3 SNTP and v4 NTP traffic)."""
+
+    V1 = 1
+    V2 = 2
+    V3 = 3
+    V4 = 4

@@ -1,0 +1,195 @@
+"""RFC 5905 packet header encode/decode.
+
+The 48-byte header::
+
+     0                   1                   2                   3
+     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |LI | VN  |Mode |    Stratum     |     Poll      |  Precision   |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+    |                         Root Delay                            |
+    |                       Root Dispersion                         |
+    |                          Reference ID                         |
+    |                     Reference Timestamp (64)                  |
+    |                      Origin Timestamp (64)                    |
+    |                      Receive Timestamp (64)                   |
+    |                      Transmit Timestamp (64)                  |
+    +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+SNTP (RFC 4330) clients "set all fields to zero except the first octet"
+(and the transmit timestamp); :meth:`NtpPacket.sntp_request` builds
+exactly that shape, which is also what the log-study classifier keys on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ntp.constants import LeapIndicator, Mode, NTP_HEADER_LEN, Version
+from repro.ntp.timestamps import (
+    ZERO_TIMESTAMP,
+    decode_short,
+    decode_timestamp,
+    encode_short,
+    encode_timestamp,
+    is_zero_timestamp,
+)
+
+
+@dataclass
+class NtpPacket:
+    """A parsed or to-be-encoded NTP packet.
+
+    Timestamps are Unix-second floats; ``None`` encodes as the wire zero
+    sentinel.  ``precision`` is the signed log2-seconds exponent.
+    """
+
+    leap: LeapIndicator = LeapIndicator.NO_WARNING
+    version: int = Version.V4
+    mode: Mode = Mode.CLIENT
+    stratum: int = 0
+    poll: int = 0
+    precision: int = -20
+    root_delay: float = 0.0
+    root_dispersion: float = 0.0
+    ref_id: bytes = b"\x00\x00\x00\x00"
+    reference_ts: Optional[float] = None
+    origin_ts: Optional[float] = None
+    receive_ts: Optional[float] = None
+    transmit_ts: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= int(self.stratum) <= 255:
+            raise ValueError(f"stratum out of range: {self.stratum}")
+        if not 1 <= int(self.version) <= 7:
+            raise ValueError(f"version out of range: {self.version}")
+        if len(self.ref_id) != 4:
+            raise ValueError("ref_id must be exactly 4 bytes")
+        if not -128 <= int(self.poll) <= 127:
+            raise ValueError(f"poll out of range: {self.poll}")
+        if not -128 <= int(self.precision) <= 127:
+            raise ValueError(f"precision out of range: {self.precision}")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def sntp_request(cls, transmit_unix: float, version: int = Version.V3) -> "NtpPacket":
+        """Build the minimal SNTP client request (first octet + xmt only)."""
+        return cls(
+            leap=LeapIndicator.NO_WARNING,
+            version=version,
+            mode=Mode.CLIENT,
+            stratum=0,
+            poll=0,
+            precision=0,
+            transmit_ts=transmit_unix,
+        )
+
+    @classmethod
+    def ntp_request(
+        cls,
+        transmit_unix: float,
+        poll: int = 6,
+        precision: int = -20,
+        version: int = Version.V4,
+    ) -> "NtpPacket":
+        """Build a full-NTP client request (non-zero poll/precision —
+        the wire difference the log classifier uses)."""
+        return cls(
+            leap=LeapIndicator.NO_WARNING,
+            version=version,
+            mode=Mode.CLIENT,
+            stratum=2,
+            poll=poll,
+            precision=precision,
+            transmit_ts=transmit_unix,
+        )
+
+    # -- codec ------------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise to the 48-byte wire format."""
+        first = (int(self.leap) & 0x3) << 6 | (int(self.version) & 0x7) << 3 | (
+            int(self.mode) & 0x7
+        )
+        head = struct.pack(
+            "!BBbb",
+            first,
+            int(self.stratum),
+            int(self.poll),
+            int(self.precision),
+        )
+        body = (
+            encode_short(self.root_delay)
+            + encode_short(self.root_dispersion)
+            + self.ref_id
+            + self._ts(self.reference_ts)
+            + self._ts(self.origin_ts)
+            + self._ts(self.receive_ts)
+            + self._ts(self.transmit_ts)
+        )
+        packet = head + body
+        assert len(packet) == NTP_HEADER_LEN
+        return packet
+
+    @staticmethod
+    def _ts(value: Optional[float]) -> bytes:
+        return ZERO_TIMESTAMP if value is None else encode_timestamp(value)
+
+    @classmethod
+    def decode(cls, data: bytes, pivot_unix: float = 0.0) -> "NtpPacket":
+        """Parse a wire packet (ignores any extension fields past 48 B).
+
+        Args:
+            data: At least 48 bytes.
+            pivot_unix: Era-resolution pivot for timestamp decoding.
+        """
+        if len(data) < NTP_HEADER_LEN:
+            raise ValueError(f"NTP packet too short: {len(data)} bytes")
+        first, stratum, poll, precision = struct.unpack("!BBbb", data[:4])
+        leap = LeapIndicator((first >> 6) & 0x3)
+        version = (first >> 3) & 0x7
+        mode = Mode(first & 0x7)
+
+        def ts(chunk: bytes) -> Optional[float]:
+            if is_zero_timestamp(chunk):
+                return None
+            return decode_timestamp(chunk, pivot_unix=pivot_unix)
+
+        return cls(
+            leap=leap,
+            version=version,
+            mode=mode,
+            stratum=stratum,
+            poll=poll,
+            precision=precision,
+            root_delay=decode_short(data[4:8]),
+            root_dispersion=decode_short(data[8:12]),
+            ref_id=bytes(data[12:16]),
+            reference_ts=ts(data[16:24]),
+            origin_ts=ts(data[24:32]),
+            receive_ts=ts(data[32:40]),
+            transmit_ts=ts(data[40:48]),
+        )
+
+    # -- classification helpers (used by the log study) ---------------------------
+
+    def looks_like_sntp_request(self) -> bool:
+        """Heuristic used in §3.1: SNTP requests zero everything except
+        the first octet (and carry a transmit timestamp)."""
+        return (
+            self.mode == Mode.CLIENT
+            and self.stratum == 0
+            and self.poll == 0
+            and self.precision == 0
+            and self.root_delay == 0.0
+            and self.root_dispersion == 0.0
+            and self.origin_ts is None
+            and self.receive_ts is None
+        )
+
+    def is_kiss_of_death(self) -> bool:
+        """Stratum-0 server responses are KoD packets."""
+        return self.mode == Mode.SERVER and self.stratum == 0

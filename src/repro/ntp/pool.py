@@ -1,0 +1,57 @@
+"""Pool DNS emulation.
+
+``0.pool.ntp.org``-style names resolve, per query, to a random member
+of a rotating server pool — the paper notes "every SNTP request to the
+pool server is randomly assigned to a new NTP time reference enabling
+unbiased time server selection".  :class:`PoolDns` reproduces that:
+each resolution draws a member uniformly at random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ntp.server import NtpServer
+
+
+class PoolDns:
+    """Maps pool hostnames to rotating member servers.
+
+    Args:
+        rng: Random stream used for per-query member selection.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._pools: Dict[str, List[NtpServer]] = {}
+
+    def register(self, pool_name: str, members: List[NtpServer]) -> None:
+        """Associate ``pool_name`` with its member servers."""
+        if not members:
+            raise ValueError("a pool needs at least one member")
+        self._pools[pool_name] = list(members)
+
+    def pool_names(self) -> List[str]:
+        """Registered pool hostnames."""
+        return list(self._pools)
+
+    def members(self, pool_name: str) -> List[NtpServer]:
+        """All members of a pool."""
+        return list(self._pools[pool_name])
+
+    def resolve(self, name: str) -> NtpServer:
+        """Resolve ``name`` to a concrete server.
+
+        Pool names rotate randomly per query; non-pool names must match
+        a member's configured name exactly.
+        """
+        if name in self._pools:
+            members = self._pools[name]
+            return members[int(self._rng.integers(0, len(members)))]
+        for members in self._pools.values():
+            for server in members:
+                if server.config.name == name:
+                    return server
+        raise KeyError(f"unknown server or pool: {name!r}")

@@ -1,0 +1,103 @@
+"""Intersection (selection) algorithm — Marzullo's algorithm as adapted
+by RFC 5905 §11.2.1.
+
+Each candidate source contributes a *correctness interval*
+``[offset - rootdist, offset + rootdist]``.  The algorithm finds the
+largest group of sources whose intervals share a common point; members
+of that group are *truechimers*, the rest *falsetickers*.  This is the
+"philosophy of NTP's clock selection heuristic" the paper cites as
+inspiration for MNTP's warm-up false-ticker rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SelectInterval:
+    """A candidate's correctness interval.
+
+    Attributes:
+        source: Opaque identifier for the contributing source.
+        midpoint: Offset estimate.
+        radius: Root distance (error bound) around the midpoint.
+    """
+
+    source: str
+    midpoint: float
+    radius: float
+
+    @property
+    def low(self) -> float:
+        """Lower edge of the interval."""
+        return self.midpoint - self.radius
+
+    @property
+    def high(self) -> float:
+        """Upper edge of the interval."""
+        return self.midpoint + self.radius
+
+
+def intersection(
+    candidates: Sequence[SelectInterval],
+) -> Tuple[List[SelectInterval], Tuple[float, float]]:
+    """Run the intersection algorithm.
+
+    Returns:
+        (truechimers, (low, high)) — the surviving candidates whose
+        intervals contain the agreed range, and that range itself.
+        With no candidates, returns ``([], (0.0, 0.0))``.
+
+    The implementation follows the RFC's endpoint-scanning formulation:
+    find the smallest number of falsetickers ``f`` such that an
+    intersection containing at least ``len(candidates) - f`` midpoints
+    exists.
+    """
+    n = len(candidates)
+    if n == 0:
+        return [], (0.0, 0.0)
+    if n == 1:
+        c = candidates[0]
+        return [c], (c.low, c.high)
+
+    # Endpoint lists: (value, type) with type -1 = low edge, +1 = high edge,
+    # 0 = midpoint.
+    endpoints: List[Tuple[float, int]] = []
+    for c in candidates:
+        endpoints.append((c.low, -1))
+        endpoints.append((c.midpoint, 0))
+        endpoints.append((c.high, +1))
+    endpoints.sort(key=lambda e: (e[0], e[1]))
+
+    # Truechimers must outnumber falsetickers: f < n/2, so the largest
+    # allowed falseticker count is (n - 1) // 2.
+    for allowed_false in range((n + 1) // 2):
+        needed = n - allowed_false
+        low = None
+        high = None
+        # Scan upward for the low edge.
+        chime = 0
+        midcount = 0
+        for value, kind in endpoints:
+            chime -= kind
+            if kind == 0:
+                midcount += 1
+            if chime >= needed:
+                low = value
+                break
+        # Scan downward for the high edge.
+        chime = 0
+        for value, kind in reversed(endpoints):
+            chime += kind
+            if chime >= needed:
+                high = value
+                break
+        if low is not None and high is not None and low <= high:
+            survivors = [
+                c for c in candidates if c.low <= high and c.high >= low
+            ]
+            return survivors, (low, high)
+    # No majority agreement: no truechimers.
+    return [], (0.0, 0.0)

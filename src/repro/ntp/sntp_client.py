@@ -1,0 +1,304 @@
+"""SNTP client (RFC 4330), including the Android policy quirks.
+
+The client is transport-agnostic: the topology supplies a ``send``
+callable and routes response datagrams back into :meth:`on_datagram`.
+Each query is sent from its own ephemeral source port (as a real UDP
+client socket would be), the server echoes the port, and the response
+is matched to the outstanding query by that port; the origin timestamp
+is additionally verified against the request's transmit timestamp, the
+same sanity check real SNTP clients perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.clock.simclock import SimClock
+from repro.net.message import Datagram
+from repro.ntp.constants import LeapIndicator, Mode
+from repro.ntp.packet import NtpPacket
+from repro.ntp.wire import OffsetSample, sample_from_exchange
+from repro.simcore.events import Event
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class SntpResult:
+    """Outcome of one SNTP query.
+
+    Attributes:
+        sample: The derived offset/delay sample (None on timeout).
+        server_name: Who was asked (post pool resolution, if known).
+        timed_out: True if no response arrived within the timeout.
+        kiss_of_death: True if the server answered with a KoD packet
+            (e.g. RATE) — the client backs off from that server.
+        unsynchronized: True if the server advertised it has no valid
+            time (leap alarm / stratum 16).
+    """
+
+    sample: Optional[OffsetSample]
+    server_name: str
+    timed_out: bool = False
+    kiss_of_death: bool = False
+    unsynchronized: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether a usable sample was obtained."""
+        return self.sample is not None
+
+
+class SntpClient:
+    """Minimal one-shot SNTP querier bound to a local clock.
+
+    Args:
+        sim: Simulation kernel.
+        clock: Local clock supplying T1/T4 readings.
+        send: Callable that puts a request datagram on the wire.
+        name: Source address label for datagrams.
+        default_timeout: Seconds to wait before declaring a query lost.
+        kod_backoff: Seconds to refuse querying a server after it sent
+            a kiss-of-death packet (RFC 4330 demands clients stop).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: SimClock,
+        send: Callable[[Datagram], None],
+        name: str = "client",
+        default_timeout: float = 2.0,
+        kod_backoff: float = 900.0,
+    ) -> None:
+        self._sim = sim
+        self.clock = clock
+        self._send = send
+        self.name = name
+        self.default_timeout = default_timeout
+        self.kod_backoff = kod_backoff
+        # Outstanding queries keyed by the ephemeral source port.
+        self._pending: Dict[int, "_PendingQuery"] = {}
+        self._next_port = 10_000
+        # Servers that sent kiss-of-death: name -> earliest retry time.
+        self._kod_until: Dict[str, float] = {}
+        self.queries_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+        self.kod_received = 0
+
+    def query(
+        self,
+        server_name: str,
+        callback: Callable[[SntpResult], None],
+        timeout: Optional[float] = None,
+        version: int = 3,
+    ) -> None:
+        """Fire one SNTP request; ``callback`` runs on response/timeout.
+
+        Queries to a server currently under kiss-of-death back-off fail
+        immediately without touching the wire.
+        """
+        until = self._kod_until.get(server_name)
+        if until is not None:
+            if self._sim.now < until:
+                self._sim.call_after(
+                    0.0,
+                    lambda: callback(SntpResult(
+                        sample=None, server_name=server_name,
+                        kiss_of_death=True,
+                    )),
+                    label="sntp:kod-backoff",
+                )
+                return
+            del self._kod_until[server_name]
+        timeout = self.default_timeout if timeout is None else timeout
+        t1 = self.clock.read()
+        request = NtpPacket.sntp_request(t1, version=version)
+        payload = request.encode()
+        port = self._next_port
+        self._next_port = 10_000 + (self._next_port - 9_999) % 50_000
+        datagram = Datagram(
+            payload=payload, src=self.name, dst=server_name, src_port=port
+        )
+
+        pending = _PendingQuery(
+            t1=t1,
+            t1_wire=payload[40:48],  # echoes back as the origin timestamp
+            server_name=server_name,
+            callback=callback,
+            timeout_event=None,
+        )
+        pending.timeout_event = self._sim.call_after(
+            timeout, lambda: self._on_timeout(port), label="sntp:timeout"
+        )
+        self._pending[port] = pending
+        self.queries_sent += 1
+        self._send(datagram)
+
+    def on_datagram(self, datagram: Datagram) -> None:
+        """Receive-side entry point for server responses."""
+        if len(datagram.payload) < 48:
+            return
+        pending = self._pending.get(datagram.dst_port)
+        if pending is None:
+            return  # late duplicate or stray packet
+        if bytes(datagram.payload[24:32]) != pending.t1_wire:
+            return  # origin mismatch: not a reply to our request
+        del self._pending[datagram.dst_port]
+        assert pending.timeout_event is not None
+        pending.timeout_event.cancel()
+        try:
+            response = NtpPacket.decode(datagram.payload, pivot_unix=self._sim.now)
+        except ValueError:
+            pending.callback(
+                SntpResult(sample=None, server_name=pending.server_name, timed_out=False)
+            )
+            return
+        if response.is_kiss_of_death():
+            self.kod_received += 1
+            self._kod_until[datagram.src] = self._sim.now + self.kod_backoff
+            # Back off from the asked name too (pool rotation hides the
+            # member behind the hostname the caller uses).
+            if pending.server_name != datagram.src:
+                self._kod_until[pending.server_name] = (
+                    self._sim.now + self.kod_backoff
+                )
+            pending.callback(
+                SntpResult(sample=None, server_name=datagram.src,
+                           kiss_of_death=True)
+            )
+            return
+        if response.mode != Mode.SERVER:
+            pending.callback(
+                SntpResult(sample=None, server_name=pending.server_name, timed_out=False)
+            )
+            return
+        if response.leap == LeapIndicator.ALARM or response.stratum >= 16:
+            pending.callback(
+                SntpResult(sample=None, server_name=datagram.src,
+                           unsynchronized=True)
+            )
+            return
+        t4 = self.clock.read()
+        self.responses_received += 1
+        sample = sample_from_exchange(pending.t1, response, t4)
+        pending.callback(
+            SntpResult(sample=sample, server_name=datagram.src, timed_out=False)
+        )
+
+    def _on_timeout(self, port: int) -> None:
+        pending = self._pending.pop(port, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        pending.callback(
+            SntpResult(sample=None, server_name=pending.server_name, timed_out=True)
+        )
+
+
+class _PendingQuery:
+    """Book-keeping for one in-flight query."""
+
+    __slots__ = ("t1", "t1_wire", "server_name", "callback", "timeout_event")
+
+    def __init__(
+        self,
+        t1: float,
+        t1_wire: bytes,
+        server_name: str,
+        callback: Callable[[SntpResult], None],
+        timeout_event: Optional[Event],
+    ) -> None:
+        self.t1 = t1
+        self.t1_wire = t1_wire
+        self.server_name = server_name
+        self.callback = callback
+        self.timeout_event = timeout_event
+
+
+@dataclass
+class AndroidSntpPolicy:
+    """Android's stock SNTP behaviour as documented in the paper's §2.
+
+    Attributes:
+        poll_interval: Once a day when NITZ data is unavailable.
+        max_retries: "only three retries upon error".
+        update_threshold: System time updated *only* if the estimate
+            differs by more than 5000 ms.
+        retry_backoff: Gap between retries.
+    """
+
+    poll_interval: float = 86_400.0
+    max_retries: int = 3
+    update_threshold: float = 5.0
+    retry_backoff: float = 5.0
+
+
+class AndroidSntpDaemon:
+    """Background process reproducing the Android update policy.
+
+    Polls once per ``policy.poll_interval``; on failure retries up to
+    ``policy.max_retries`` times; applies a step correction only when
+    |offset| exceeds ``policy.update_threshold``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: SntpClient,
+        server_name: str,
+        policy: AndroidSntpPolicy = AndroidSntpPolicy(),
+    ) -> None:
+        self._sim = sim
+        self.client = client
+        self.server_name = server_name
+        self.policy = policy
+        self.updates_applied = 0
+        self.polls = 0
+        self._running = False
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Begin the daily polling loop."""
+        self._running = True
+        self._sim.call_after(initial_delay, self._poll, label="android:poll")
+
+    def stop(self) -> None:
+        """Halt polling after any in-flight attempt resolves."""
+        self._running = False
+
+    def _poll(self, attempt: int = 0) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+
+        def on_result(result: SntpResult) -> None:
+            if not self._running:
+                return
+            if result.ok:
+                assert result.sample is not None
+                offset = result.sample.offset
+                if abs(offset) > self.policy.update_threshold:
+                    self.client.clock.step(offset)
+                    self.updates_applied += 1
+                    self._sim.trace.emit(
+                        self._sim.now, "android", "step", offset=offset
+                    )
+                self._schedule_next()
+            elif attempt + 1 < self.policy.max_retries:
+                self._sim.call_after(
+                    self.policy.retry_backoff,
+                    lambda: self._poll(attempt + 1),
+                    label="android:retry",
+                )
+            else:
+                # Out of retries: give up until the next daily poll.
+                self._schedule_next()
+
+        self.client.query(self.server_name, on_result)
+
+    def _schedule_next(self) -> None:
+        if self._running:
+            self._sim.call_after(
+                self.policy.poll_interval, self._poll, label="android:poll"
+            )

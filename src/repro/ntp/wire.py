@@ -1,0 +1,94 @@
+"""On-wire offset/delay arithmetic.
+
+Given the four timestamps of a client/server exchange —
+
+* T1 origin (client transmit, client clock),
+* T2 receive (server receive, server clock),
+* T3 transmit (server transmit, server clock),
+* T4 destination (client receive, client clock),
+
+RFC 5905 defines::
+
+    offset = ((T2 - T1) + (T3 - T4)) / 2      # server - client
+    delay  =  (T4 - T1) - (T3 - T2)           # round trip
+
+The offset estimate is exact only if forward and reverse one-way delays
+are equal; path asymmetry contributes error of half the asymmetry —
+the core mechanism by which the lossy, bursty wireless hop corrupts
+SNTP samples in this paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ntp.packet import NtpPacket
+
+
+@dataclass(frozen=True)
+class OffsetSample:
+    """One completed exchange's derived quantities.
+
+    Attributes:
+        offset: Estimated (server - client) clock offset, seconds.
+        delay: Round-trip delay, seconds.
+        t1..t4: The raw exchange timestamps (Unix seconds).
+        server_stratum: Stratum claimed by the responder.
+        root_delay / root_dispersion: Server-reported path to stratum 0.
+    """
+
+    offset: float
+    delay: float
+    t1: float
+    t2: float
+    t3: float
+    t4: float
+    server_stratum: int = 0
+    root_delay: float = 0.0
+    root_dispersion: float = 0.0
+
+    @property
+    def dispersion_bound(self) -> float:
+        """Half the round-trip delay: the classic error bound on the
+        offset estimate from path asymmetry alone."""
+        return abs(self.delay) / 2.0
+
+
+def compute_offset_delay(
+    t1: float, t2: float, t3: float, t4: float
+) -> "tuple[float, float]":
+    """Return (offset, delay) from the four exchange timestamps."""
+    offset = ((t2 - t1) + (t3 - t4)) / 2.0
+    delay = (t4 - t1) - (t3 - t2)
+    return offset, delay
+
+
+def sample_from_exchange(
+    request_t1: float, response: NtpPacket, t4: float
+) -> OffsetSample:
+    """Build an :class:`OffsetSample` from a server response packet.
+
+    Args:
+        request_t1: Client transmit time of the request (client clock).
+        response: Decoded server response (must carry receive/transmit).
+        t4: Client receive time of the response (client clock).
+
+    Raises:
+        ValueError: If the response lacks the server timestamps.
+    """
+    if response.receive_ts is None or response.transmit_ts is None:
+        raise ValueError("server response missing receive/transmit timestamps")
+    offset, delay = compute_offset_delay(
+        request_t1, response.receive_ts, response.transmit_ts, t4
+    )
+    return OffsetSample(
+        offset=offset,
+        delay=delay,
+        t1=request_t1,
+        t2=response.receive_ts,
+        t3=response.transmit_ts,
+        t4=t4,
+        server_stratum=response.stratum,
+        root_delay=response.root_delay,
+        root_dispersion=response.root_dispersion,
+    )

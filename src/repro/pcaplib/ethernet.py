@@ -1,0 +1,64 @@
+"""Ethernet II frame codec."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+
+_HEADER_LEN = 14
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into 6 bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC address: {mac!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def bytes_to_mac(data: bytes) -> str:
+    """Render 6 bytes as ``aa:bb:cc:dd:ee:ff``."""
+    if len(data) != 6:
+        raise ValueError("MAC must be 6 bytes")
+    return ":".join(f"{b:02x}" for b in data)
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame.
+
+    Attributes:
+        dst / src: MAC addresses in colon-hex form.
+        ethertype: Payload protocol (e.g. :data:`ETHERTYPE_IPV4`).
+        payload: Encapsulated bytes.
+    """
+
+    dst: str
+    src: str
+    ethertype: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes (no FCS; pcap captures omit it)."""
+        return (
+            mac_to_bytes(self.dst)
+            + mac_to_bytes(self.src)
+            + struct.pack("!H", self.ethertype)
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse wire bytes into a frame."""
+        if len(data) < _HEADER_LEN:
+            raise ValueError(f"Ethernet frame too short: {len(data)}")
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(
+            dst=bytes_to_mac(data[0:6]),
+            src=bytes_to_mac(data[6:12]),
+            ethertype=ethertype,
+            payload=bytes(data[14:]),
+        )

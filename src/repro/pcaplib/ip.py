@@ -1,0 +1,132 @@
+"""IPv4 and IPv6 header codecs (with the real IPv4 header checksum)."""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+
+PROTO_UDP = 17
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Ipv4Header:
+    """A minimal (option-less) IPv4 packet.
+
+    Attributes:
+        src / dst: Dotted-quad addresses.
+        protocol: Payload protocol number (17 = UDP).
+        ttl: Time to live.
+        payload: Encapsulated bytes.
+    """
+
+    src: str
+    dst: str
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+
+    def encode(self) -> bytes:
+        """Serialise with a correct header checksum."""
+        total_len = 20 + len(self.payload)
+        head = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,  # version 4, IHL 5
+            0,  # DSCP/ECN
+            total_len,
+            0,  # identification
+            0,  # flags/fragment
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            ipaddress.IPv4Address(self.src).packed,
+            ipaddress.IPv4Address(self.dst).packed,
+        )
+        checksum = internet_checksum(head)
+        head = head[:10] + struct.pack("!H", checksum) + head[12:]
+        return head + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Header":
+        """Parse wire bytes; validates version/IHL and the checksum."""
+        if len(data) < 20:
+            raise ValueError("IPv4 packet too short")
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < 20 or len(data) < ihl:
+            raise ValueError("bad IPv4 IHL")
+        if verify_checksum and internet_checksum(data[:ihl]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        (total_len,) = struct.unpack("!H", data[2:4])
+        if total_len < ihl or total_len > len(data):
+            raise ValueError("bad IPv4 total length")
+        return cls(
+            src=str(ipaddress.IPv4Address(data[12:16])),
+            dst=str(ipaddress.IPv4Address(data[16:20])),
+            protocol=data[9],
+            ttl=data[8],
+            payload=bytes(data[ihl:total_len]),
+        )
+
+
+@dataclass(frozen=True)
+class Ipv6Header:
+    """A minimal (extension-header-free) IPv6 packet.
+
+    Attributes:
+        src / dst: Textual IPv6 addresses.
+        next_header: Payload protocol number (17 = UDP).
+        hop_limit: Hop limit.
+        payload: Encapsulated bytes.
+    """
+
+    src: str
+    dst: str
+    next_header: int
+    payload: bytes
+    hop_limit: int = 64
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes."""
+        head = struct.pack(
+            "!IHBB16s16s",
+            6 << 28,  # version 6, tc/flow zero
+            len(self.payload),
+            self.next_header,
+            self.hop_limit,
+            ipaddress.IPv6Address(self.src).packed,
+            ipaddress.IPv6Address(self.dst).packed,
+        )
+        return head + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv6Header":
+        """Parse wire bytes."""
+        if len(data) < 40:
+            raise ValueError("IPv6 packet too short")
+        (vtf,) = struct.unpack("!I", data[:4])
+        if vtf >> 28 != 6:
+            raise ValueError("not an IPv6 packet")
+        (payload_len,) = struct.unpack("!H", data[4:6])
+        if payload_len > len(data) - 40:
+            raise ValueError("bad IPv6 payload length")
+        return cls(
+            src=str(ipaddress.IPv6Address(data[8:24])),
+            dst=str(ipaddress.IPv6Address(data[24:40])),
+            next_header=data[6],
+            hop_limit=data[7],
+            payload=bytes(data[40 : 40 + payload_len]),
+        )

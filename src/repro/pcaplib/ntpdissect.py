@@ -1,0 +1,88 @@
+"""NTP payload dissector — the ``print-ntp.c`` equivalent.
+
+Takes a full captured frame, walks Ethernet -> IPv4/IPv6 -> UDP, and if
+the datagram involves port 123 decodes the NTP header, returning the
+fields the §3.1 analysis needs (mode, version, stratum, poll, precision,
+timestamps, addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ntp.constants import NTP_PORT
+from repro.ntp.packet import NtpPacket
+from repro.pcaplib.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetFrame
+from repro.pcaplib.ip import PROTO_UDP, Ipv4Header, Ipv6Header
+from repro.pcaplib.udp import UdpDatagram
+
+
+@dataclass(frozen=True)
+class NtpDissection:
+    """Decoded view of one captured NTP packet.
+
+    Attributes:
+        src_ip / dst_ip: Network-layer addresses.
+        src_port / dst_port: UDP ports.
+        ip_version: 4 or 6.
+        packet: The parsed NTP header.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    ip_version: int
+    packet: NtpPacket
+
+    @property
+    def is_request(self) -> bool:
+        """Whether this is client->server traffic."""
+        return self.dst_port == NTP_PORT and self.packet.mode.value == 3
+
+    @property
+    def is_response(self) -> bool:
+        """Whether this is server->client traffic."""
+        return self.src_port == NTP_PORT and self.packet.mode.value == 4
+
+
+def dissect_ntp_packet(
+    frame_bytes: bytes, pivot_unix: float = 0.0
+) -> Optional[NtpDissection]:
+    """Dissect a captured Ethernet frame down to NTP.
+
+    Returns None for anything that is not a well-formed UDP/123 packet
+    with at least 48 bytes of payload — the same silent skipping a
+    tcpdump filter of ``port 123`` plus print-ntp performs.
+    """
+    try:
+        frame = EthernetFrame.decode(frame_bytes)
+        if frame.ethertype == ETHERTYPE_IPV4:
+            ip4 = Ipv4Header.decode(frame.payload)
+            if ip4.protocol != PROTO_UDP:
+                return None
+            src_ip, dst_ip, ip_version, ip_payload = ip4.src, ip4.dst, 4, ip4.payload
+        elif frame.ethertype == ETHERTYPE_IPV6:
+            ip6 = Ipv6Header.decode(frame.payload)
+            if ip6.next_header != PROTO_UDP:
+                return None
+            src_ip, dst_ip, ip_version, ip_payload = ip6.src, ip6.dst, 6, ip6.payload
+        else:
+            return None
+        udp = UdpDatagram.decode(ip_payload)
+        if NTP_PORT not in (udp.src_port, udp.dst_port):
+            return None
+        if len(udp.payload) < 48:
+            return None
+        packet = NtpPacket.decode(udp.payload, pivot_unix=pivot_unix)
+    except ValueError:
+        return None
+    return NtpDissection(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=udp.src_port,
+        dst_port=udp.dst_port,
+        ip_version=ip_version,
+        packet=packet,
+    )

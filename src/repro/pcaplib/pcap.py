@@ -1,0 +1,122 @@
+"""Classic pcap (libpcap 2.4) file format reader/writer.
+
+Implements the original fixed-endianness-per-file format tcpdump
+writes: a 24-byte global header (magic 0xa1b2c3d4, microsecond
+timestamps) followed by 16-byte per-record headers.  Both byte orders
+are accepted on read; writes are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Union
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION = (2, 4)
+
+#: Link type for Ethernet frames.
+LINKTYPE_ETHERNET = 1
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet.
+
+    Attributes:
+        ts: Capture timestamp (Unix seconds, microsecond precision).
+        data: Captured bytes (assumed unsnapped: caplen == origlen).
+    """
+
+    ts: float
+    data: bytes
+
+
+class PcapWriter:
+    """Streams records into a classic pcap file."""
+
+    def __init__(self, fileobj: BinaryIO, linktype: int = LINKTYPE_ETHERNET,
+                 snaplen: int = 65_535) -> None:
+        self._f = fileobj
+        self._f.write(
+            struct.pack(
+                "<IHHiIII",
+                PCAP_MAGIC,
+                PCAP_VERSION[0],
+                PCAP_VERSION[1],
+                0,  # thiszone
+                0,  # sigfigs
+                snaplen,
+                linktype,
+            )
+        )
+        self.records_written = 0
+
+    def write(self, record: PcapRecord) -> None:
+        """Append one record."""
+        secs = int(record.ts)
+        usecs = int(round((record.ts - secs) * 1_000_000))
+        if usecs == 1_000_000:
+            secs += 1
+            usecs = 0
+        length = len(record.data)
+        self._f.write(struct.pack("<IIII", secs, usecs, length, length))
+        self._f.write(record.data)
+        self.records_written += 1
+
+    def write_all(self, records: "List[PcapRecord]") -> None:
+        """Append many records."""
+        for record in records:
+            self.write(record)
+
+
+class PcapReader:
+    """Iterates records out of a classic pcap file (either byte order)."""
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._f = fileobj
+        header = fileobj.read(24)
+        if len(header) != 24:
+            raise ValueError("truncated pcap global header")
+        (magic,) = struct.unpack("<I", header[:4])
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise ValueError(f"bad pcap magic: {magic:#x}")
+        (
+            self.version_major,
+            self.version_minor,
+            self.thiszone,
+            self.sigfigs,
+            self.snaplen,
+            self.linktype,
+        ) = struct.unpack(self._endian + "HHiIII", header[4:])
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            head = self._f.read(16)
+            if not head:
+                return
+            if len(head) != 16:
+                raise ValueError("truncated pcap record header")
+            secs, usecs, caplen, origlen = struct.unpack(self._endian + "IIII", head)
+            data = self._f.read(caplen)
+            if len(data) != caplen:
+                raise ValueError("truncated pcap record body")
+            yield PcapRecord(ts=secs + usecs / 1_000_000, data=data)
+
+    def read_all(self) -> "List[PcapRecord]":
+        """Read every remaining record into a list."""
+        return list(self)
+
+
+def open_pcap(path: Union[str, "bytes"], mode: str = "r"):
+    """Open a pcap file for reading ('r') or writing ('w')."""
+    if mode == "r":
+        return PcapReader(open(path, "rb"))
+    if mode == "w":
+        return PcapWriter(open(path, "wb"))
+    raise ValueError("mode must be 'r' or 'w'")

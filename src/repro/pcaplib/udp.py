@@ -1,0 +1,69 @@
+"""UDP codec with pseudo-header checksums for IPv4 and IPv6."""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+
+from repro.pcaplib.ip import PROTO_UDP, internet_checksum
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram.
+
+    Attributes:
+        src_port / dst_port: Ports.
+        payload: Application bytes.
+    """
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def encode(self, src_ip: str, dst_ip: str) -> bytes:
+        """Serialise with the checksum over the IP pseudo header.
+
+        Args:
+            src_ip / dst_ip: Addresses of the enclosing IP packet
+                (needed for the pseudo-header).
+        """
+        length = 8 + len(self.payload)
+        head = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        body = head + self.payload
+        checksum = internet_checksum(_pseudo_header(src_ip, dst_ip, length) + body)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return body[:6] + struct.pack("!H", checksum) + body[8:]
+
+    @classmethod
+    def decode(
+        cls, data: bytes, src_ip: str = "", dst_ip: str = "", verify_checksum: bool = False
+    ) -> "UdpDatagram":
+        """Parse wire bytes; optionally verify the checksum (requires
+        the enclosing IP addresses)."""
+        if len(data) < 8:
+            raise ValueError("UDP datagram too short")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
+        if length < 8 or length > len(data):
+            raise ValueError("bad UDP length")
+        if verify_checksum and checksum != 0:
+            if not src_ip or not dst_ip:
+                raise ValueError("checksum verification needs IP addresses")
+            total = internet_checksum(
+                _pseudo_header(src_ip, dst_ip, length) + data[:length]
+            )
+            if total not in (0, 0xFFFF):
+                raise ValueError("UDP checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=bytes(data[8:length]))
+
+
+def _pseudo_header(src_ip: str, dst_ip: str, udp_length: int) -> bytes:
+    src = ipaddress.ip_address(src_ip)
+    dst = ipaddress.ip_address(dst_ip)
+    if src.version != dst.version:
+        raise ValueError("mixed IP versions in pseudo header")
+    if src.version == 4:
+        return src.packed + dst.packed + struct.pack("!BBH", 0, PROTO_UDP, udp_length)
+    return src.packed + dst.packed + struct.pack("!IHBB", udp_length, 0, 0, PROTO_UDP)

@@ -1,0 +1,176 @@
+"""PTPv2 message codecs (IEEE 1588-2008 wire format).
+
+The 34-byte common header, the 10-byte PTP timestamp (48-bit seconds +
+32-bit nanoseconds), and the event/general message bodies used by the
+two-step mechanism: ``Sync``, ``Follow_Up``, ``Delay_Req``,
+``Delay_Resp``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Tuple
+
+PTP_VERSION = 2
+HEADER_LEN = 34
+TIMESTAMP_LEN = 10
+
+#: messageType values (transport-specific nibble).
+class PtpMessageType(IntEnum):
+    """4-bit messageType field."""
+
+    SYNC = 0x0
+    DELAY_REQ = 0x1
+    FOLLOW_UP = 0x8
+    DELAY_RESP = 0x9
+    ANNOUNCE = 0xB
+
+
+#: Flag bit: twoStepFlag (octet 6, bit 1).
+FLAG_TWO_STEP = 0x0200
+
+
+def encode_ptp_timestamp(seconds: float) -> bytes:
+    """Encode seconds (Unix) as a PTP timestamp (48-bit s + 32-bit ns)."""
+    if seconds < 0:
+        raise ValueError("PTP timestamps are non-negative")
+    secs = int(seconds)
+    nanos = int(round((seconds - secs) * 1e9))
+    if nanos == 1_000_000_000:
+        secs += 1
+        nanos = 0
+    return struct.pack("!HII", (secs >> 32) & 0xFFFF, secs & 0xFFFFFFFF, nanos)
+
+
+def decode_ptp_timestamp(data: bytes) -> float:
+    """Decode a 10-byte PTP timestamp to float seconds."""
+    if len(data) != TIMESTAMP_LEN:
+        raise ValueError(f"PTP timestamp must be 10 bytes, got {len(data)}")
+    hi, lo, nanos = struct.unpack("!HII", data)
+    if nanos >= 1_000_000_000:
+        raise ValueError("invalid nanoseconds field")
+    return ((hi << 32) | lo) + nanos / 1e9
+
+
+@dataclass
+class PtpHeader:
+    """The PTPv2 common header plus the single-timestamp body used by
+    the delay mechanism messages.
+
+    Attributes:
+        message_type: One of :class:`PtpMessageType`.
+        sequence_id: Per-message-class sequence counter.
+        source_port_identity: 10-byte clock+port identity.
+        flags: Header flag field (two-step bit etc.).
+        correction_ns: correctionField in nanoseconds (transparent-clock
+            residence times; zero in this simulator).
+        timestamp: The body's origin/receive timestamp (None encodes
+            zero — Sync in two-step mode carries 0).
+        requesting_port_identity: Only for Delay_Resp: the identity of
+            the slave whose Delay_Req is being answered.
+    """
+
+    message_type: PtpMessageType
+    sequence_id: int
+    source_port_identity: bytes = b"\x00" * 10
+    flags: int = 0
+    correction_ns: int = 0
+    timestamp: Optional[float] = None
+    requesting_port_identity: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if len(self.source_port_identity) != 10:
+            raise ValueError("sourcePortIdentity must be 10 bytes")
+        if not 0 <= self.sequence_id <= 0xFFFF:
+            raise ValueError("sequenceId out of range")
+        if self.requesting_port_identity is not None and len(
+            self.requesting_port_identity
+        ) != 10:
+            raise ValueError("requestingPortIdentity must be 10 bytes")
+
+    def encode(self) -> bytes:
+        """Serialise header + body."""
+        body = (
+            encode_ptp_timestamp(self.timestamp)
+            if self.timestamp is not None
+            else b"\x00" * TIMESTAMP_LEN
+        )
+        if self.message_type == PtpMessageType.DELAY_RESP:
+            body += self.requesting_port_identity or b"\x00" * 10
+        length = HEADER_LEN + len(body)
+        header = (
+            struct.pack("!BB", (0 << 4) | int(self.message_type), PTP_VERSION)
+            + struct.pack("!H", length)
+            + struct.pack("!BB", 0, 0)
+            + struct.pack("!H", self.flags)
+            + struct.pack("!q", self.correction_ns << 16)
+            + b"\x00" * 4
+            + self.source_port_identity
+            + struct.pack("!H", self.sequence_id)
+            + struct.pack("!B", _control_field(self.message_type))
+            + struct.pack("!b", 0)  # logMessageInterval
+        )
+        assert len(header) == HEADER_LEN
+        return header + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PtpHeader":
+        """Parse header + body."""
+        if len(data) < HEADER_LEN:
+            raise ValueError("PTP message too short")
+        message_type = PtpMessageType(data[0] & 0x0F)
+        version = data[1]
+        if version != PTP_VERSION:
+            raise ValueError(f"unsupported PTP version {version}")
+        (length,) = struct.unpack("!H", data[2:4])
+        if length > len(data):
+            raise ValueError("truncated PTP message")
+        (flags,) = struct.unpack("!H", data[6:8])
+        (correction_raw,) = struct.unpack("!q", data[8:16])
+        source_port_identity = bytes(data[20:30])
+        (sequence_id,) = struct.unpack("!H", data[30:32])
+        body = data[HEADER_LEN:length]
+        timestamp = None
+        requesting = None
+        if len(body) >= TIMESTAMP_LEN:
+            ts_bytes = body[:TIMESTAMP_LEN]
+            if ts_bytes != b"\x00" * TIMESTAMP_LEN:
+                timestamp = decode_ptp_timestamp(ts_bytes)
+        if message_type == PtpMessageType.DELAY_RESP and len(body) >= 20:
+            requesting = bytes(body[10:20])
+        return cls(
+            message_type=message_type,
+            sequence_id=sequence_id,
+            source_port_identity=source_port_identity,
+            flags=flags,
+            correction_ns=correction_raw >> 16,
+            timestamp=timestamp,
+            requesting_port_identity=requesting,
+        )
+
+
+def _control_field(message_type: PtpMessageType) -> int:
+    """Deprecated v1-compat controlField values."""
+    return {
+        PtpMessageType.SYNC: 0x00,
+        PtpMessageType.DELAY_REQ: 0x01,
+        PtpMessageType.FOLLOW_UP: 0x02,
+        PtpMessageType.DELAY_RESP: 0x03,
+    }.get(message_type, 0x05)
+
+
+def compute_ptp_offset(
+    t1: float, t2: float, t3: float, t4: float
+) -> Tuple[float, float]:
+    """(offset of slave from master, mean path delay) per IEEE 1588:
+
+        offset     = ((t2 - t1) - (t4 - t3)) / 2
+        mean delay = ((t2 - t1) + (t4 - t3)) / 2
+    """
+    ms_diff = t2 - t1  # master-to-slave, includes +offset
+    sm_diff = t4 - t3  # slave-to-master, includes -offset
+    offset = (ms_diff - sm_diff) / 2.0
+    mean_delay = (ms_diff + sm_diff) / 2.0
+    return offset, mean_delay

@@ -1,0 +1,76 @@
+"""Text rendering of time series and CDFs.
+
+The paper's figures are scatter/line plots; with no plotting library
+available offline, the benches render each series as a compact text
+sparkline (binned max-|value| so spikes stay visible) plus the summary
+numbers EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_series(
+    values: Sequence[float],
+    label: str = "",
+    width: int = 72,
+    unit_scale: float = 1000.0,
+    unit: str = "ms",
+) -> str:
+    """Render a sparkline of ``values`` (absolute, max-binned to width).
+
+    Args:
+        values: Raw series (e.g. offsets in seconds).
+        label: Prefix label.
+        width: Character width of the sparkline.
+        unit_scale: Multiplier applied before display (s -> ms default).
+        unit: Unit suffix shown with the max annotation.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    abs_vals = [abs(v) for v in values]
+    if not abs_vals:
+        return f"{label}: (empty)"
+    binned = _bin_max(abs_vals, width)
+    peak = max(binned) or 1.0
+    chars = []
+    for v in binned:
+        idx = int(round(v / peak * (len(_BLOCKS) - 1)))
+        chars.append(_BLOCKS[idx])
+    scaled_peak = peak * unit_scale
+    return f"{label}: |{''.join(chars)}| peak={scaled_peak:.1f}{unit} n={len(values)}"
+
+
+def render_cdf(
+    values: Sequence[float],
+    label: str = "",
+    quantiles: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99),
+    unit_scale: float = 1000.0,
+    unit: str = "ms",
+) -> str:
+    """Render a CDF as its key quantiles on one line."""
+    import numpy as np
+
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return f"{label}: (empty)"
+    parts = [
+        f"p{int(q * 100):02d}={float(np.quantile(arr, q)) * unit_scale:.1f}{unit}"
+        for q in quantiles
+    ]
+    return f"{label}: " + "  ".join(parts)
+
+
+def _bin_max(values: List[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return values
+    out = []
+    n = len(values)
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        out.append(max(values[lo:hi]))
+    return out

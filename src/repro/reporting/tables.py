@@ -1,0 +1,55 @@
+"""Fixed-width table renderer for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table.
+
+    Numbers are right-aligned, everything else left-aligned.  Returns a
+    string including a header separator line.
+    """
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    columns = len(headers)
+    for row in str_rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(col: int) -> bool:
+        return all(_looks_numeric(row[col]) for row in str_rows) and bool(str_rows)
+
+    numeric = [is_numeric(i) for i in range(columns)]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,180 @@
+"""The discrete-event simulator.
+
+Two programming models are supported:
+
+* **Callbacks** — ``sim.call_at(t, fn)`` / ``sim.call_after(dt, fn)``.
+* **Processes** — generator functions that ``yield`` either a float
+  delay in simulated seconds or a :class:`Waiter` condition object.
+  Processes are the natural way to express protocol loops ("send,
+  wait 5 s, send again") without inverting control flow.
+
+Time is a float of simulated seconds starting at 0.0 by default.
+``sim.run_until(t)`` advances virtual time by draining the event queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.simcore.events import Event, EventQueue
+from repro.simcore.random import RngRegistry
+from repro.simcore.trace import TraceLog
+
+
+class Waiter:
+    """A resumable condition a process can yield on.
+
+    ``poll_interval`` controls how often the predicate is re-evaluated;
+    ``predicate`` receives the current virtual time and returns True when
+    the process may resume.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[float], bool],
+        poll_interval: float = 1.0,
+        label: str = "",
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.predicate = predicate
+        self.poll_interval = poll_interval
+        self.label = label
+
+
+ProcessGen = Generator[Union[float, Waiter], None, None]
+
+
+class SimProcess:
+    """A running generator-based process inside a :class:`Simulator`."""
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str) -> None:
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self._pending: Optional[Event] = None
+
+    def _advance(self) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(None)
+        except StopIteration:
+            self.finished = True
+            return
+        self._schedule(yielded)
+
+    def _schedule(self, yielded: Union[float, Waiter]) -> None:
+        if isinstance(yielded, Waiter):
+            self._wait_on(yielded)
+            return
+        delay = float(yielded)
+        if delay < 0:
+            raise ValueError(f"process {self.name!r} yielded negative delay {delay}")
+        self._pending = self._sim.call_after(delay, self._advance, label=f"proc:{self.name}")
+
+    def _wait_on(self, waiter: Waiter) -> None:
+        def poll() -> None:
+            if self.finished:
+                return
+            if waiter.predicate(self._sim.now):
+                self._advance()
+            else:
+                self._pending = self._sim.call_after(
+                    waiter.poll_interval, poll, label=f"wait:{self.name}:{waiter.label}"
+                )
+
+        poll()
+
+    def stop(self) -> None:
+        """Terminate the process; any pending wakeup is cancelled."""
+        self.finished = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+
+class Simulator:
+    """Virtual-time discrete-event simulator.
+
+    Attributes:
+        now: Current virtual time in seconds.
+        rng: Registry of named random streams for components.
+        trace: Structured log of component events (optional use).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceLog()
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self._queue.push(time, callback, label=label)
+
+    def call_after(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self.now + delay, callback, label=label)
+
+    def spawn(self, gen: ProcessGen, name: str = "process") -> SimProcess:
+        """Start a generator-based process immediately."""
+        proc = SimProcess(self, gen, name)
+        self.call_after(0.0, proc._advance, label=f"spawn:{name}")
+        return proc
+
+    # -- execution -------------------------------------------------------
+
+    def run_until(self, end_time: float) -> None:
+        """Drain events with fire time <= ``end_time``; leave now = end_time."""
+        if end_time < self.now:
+            raise ValueError(f"end time {end_time} is before now {self.now}")
+        self._running = True
+        try:
+            while self._running:
+                t = self._queue.peek_time()
+                if t is None or t > end_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.now = max(self.now, event.time)
+                event.callback()
+        finally:
+            self._running = False
+        self.now = max(self.now, end_time)
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.run_until(self.now + duration)
+
+    def run_to_completion(self, max_time: float = 1e12) -> None:
+        """Run until the event queue drains (bounded by ``max_time``)."""
+        self._running = True
+        try:
+            while self._running:
+                t = self._queue.peek_time()
+                if t is None or t > max_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.now = max(self.now, event.time)
+                event.callback()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current run_* call after the in-flight event returns."""
+        self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

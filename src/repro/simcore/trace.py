@@ -1,0 +1,65 @@
+"""Structured simulation tracing.
+
+Components append :class:`TraceRecord` entries to a shared
+:class:`TraceLog`.  The experiment harness and the Figure-7 "signals and
+selection" reproduction read decisions back out of this log rather than
+scraping printed output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry.
+
+    Attributes:
+        time: Virtual time of the event.
+        component: Emitting component name (e.g. ``"mntp"``, ``"channel"``).
+        kind: Event kind within the component (e.g. ``"offset_accepted"``).
+        data: Arbitrary payload fields.
+    """
+
+    time: float
+    component: str
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only in-memory log of :class:`TraceRecord` entries."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def emit(self, time: float, component: str, kind: str, **data: Any) -> TraceRecord:
+        """Append and return a new record."""
+        record = TraceRecord(time=time, component=component, kind=kind, data=dict(data))
+        self._records.append(record)
+        return record
+
+    def select(
+        self, component: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Return records filtered by component and/or kind."""
+        out = []
+        for rec in self._records:
+            if component is not None and rec.component != component:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

@@ -1,0 +1,38 @@
+"""Laboratory testbed simulation (§3.2 of the paper).
+
+Recreates the three-node testbed: a programmable wireless access point
+(WAP), a target node (TN) running the time-sync clients, and a monitor
+node (MN) that degrades the channel via cross-traffic and tx-power
+commands, closing the loop on ping statistics reported by the TN.
+"""
+
+from repro.testbed.nodes import Testbed, TestbedOptions
+from repro.testbed.monitor import MonitorNode, MonitorParams
+from repro.testbed.pingtool import PingTool, PingStats
+from repro.testbed.experiment import ExperimentRunner, ExperimentResult, OffsetPoint
+from repro.testbed.scenarios import (
+    SCENARIOS,
+    Scenario,
+    run_scenario,
+)
+from repro.testbed.calibration import CalibrationReport, run_calibration
+from repro.testbed.persistence import load_result, save_result
+
+__all__ = [
+    "Testbed",
+    "TestbedOptions",
+    "MonitorNode",
+    "MonitorParams",
+    "PingTool",
+    "PingStats",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "OffsetPoint",
+    "SCENARIOS",
+    "Scenario",
+    "run_scenario",
+    "CalibrationReport",
+    "run_calibration",
+    "load_result",
+    "save_result",
+]

@@ -1,0 +1,92 @@
+"""Experiment result persistence.
+
+Saves :class:`~repro.testbed.experiment.ExperimentResult` objects as
+JSON so runs can be archived, diffed across code versions, and
+post-processed without re-simulating.  The format is versioned and
+forward-checked on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict
+
+from repro.core.protocol import MntpPhase, MntpReport
+from repro.testbed.experiment import ExperimentResult, OffsetPoint
+
+FORMAT = "mntp-experiment-v1"
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Convert a result to a JSON-serialisable dict."""
+    return {
+        "format": FORMAT,
+        "duration": result.duration,
+        "sntp_failures": result.sntp_failures,
+        "sntp": [_point(p) for p in result.sntp],
+        "true_offsets": [_point(p) for p in result.true_offsets],
+        "mntp_reports": [_report(r) for r in result.mntp_reports],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document")
+    result = ExperimentResult(
+        duration=float(data["duration"]),
+        sntp_failures=int(data.get("sntp_failures", 0)),
+    )
+    result.sntp = [_point_from(d) for d in data.get("sntp", [])]
+    result.true_offsets = [_point_from(d) for d in data.get("true_offsets", [])]
+    result.mntp_reports = [_report_from(d) for d in data.get("mntp_reports", [])]
+    return result
+
+
+def save_result(result: ExperimentResult, fileobj: IO[str]) -> None:
+    """Write a result as JSON."""
+    json.dump(result_to_dict(result), fileobj)
+
+
+def load_result(fileobj: IO[str]) -> ExperimentResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_dict(json.load(fileobj))
+
+
+def _point(p: OffsetPoint) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"t": p.time, "o": p.offset}
+    if p.truth == p.truth:  # not NaN
+        out["truth"] = p.truth
+    return out
+
+
+def _point_from(d: Dict[str, Any]) -> OffsetPoint:
+    return OffsetPoint(
+        time=float(d["t"]),
+        offset=float(d["o"]),
+        truth=float(d["truth"]) if "truth" in d else float("nan"),
+    )
+
+
+def _report(r: MntpReport) -> Dict[str, Any]:
+    return {
+        "t": r.time,
+        "o": r.offset,
+        "accepted": r.accepted,
+        "phase": r.phase.value,
+        "corrected": r.corrected,
+        "residual": r.residual,
+        "truth": r.truth,
+    }
+
+
+def _report_from(d: Dict[str, Any]) -> MntpReport:
+    return MntpReport(
+        time=float(d["t"]),
+        offset=float(d["o"]),
+        accepted=bool(d["accepted"]),
+        phase=MntpPhase(d["phase"]),
+        corrected=bool(d.get("corrected", False)),
+        residual=d.get("residual"),
+        truth=d.get("truth"),
+    )

@@ -1,0 +1,92 @@
+"""Simulated ping.
+
+The TN "sends statistics collected through active measurement to the MN
+using tools like ping".  :class:`PingTool` probes a destination across
+the same wireless+internet path the NTP traffic uses and keeps a rolling
+window of RTTs and losses for the monitor node to read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.simcore.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class PingStats:
+    """Rolling-window summary the TN reports to the MN.
+
+    Attributes:
+        sent / received: Probe counts in the window.
+        loss_fraction: 1 - received/sent (0 with no probes).
+        mean_rtt: Mean RTT of received probes (seconds; 0 if none).
+        max_rtt: Max RTT in the window (seconds; 0 if none).
+    """
+
+    sent: int
+    received: int
+    loss_fraction: float
+    mean_rtt: float
+    max_rtt: float
+
+
+class PingTool:
+    """Periodic probe generator over a caller-supplied RTT sampler.
+
+    Args:
+        sim: Simulation kernel.
+        probe_fn: Callable performing one probe; it must invoke the
+            given callback with the RTT in seconds, or ``None`` on loss.
+        interval: Probe period (seconds).
+        window: Number of most-recent probes summarised in stats.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe_fn: Callable[[Callable[[Optional[float]], None]], None],
+        interval: float = 1.0,
+        window: int = 20,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._sim = sim
+        self._probe_fn = probe_fn
+        self.interval = interval
+        self._results: Deque[Optional[float]] = deque(maxlen=window)
+        self._running = False
+
+    def start(self) -> None:
+        """Begin probing."""
+        self._running = True
+        self._sim.call_after(0.0, self._probe, label="ping:probe")
+
+    def stop(self) -> None:
+        """Cease probing."""
+        self._running = False
+
+    def _probe(self) -> None:
+        if not self._running:
+            return
+
+        def on_result(rtt: Optional[float]) -> None:
+            self._results.append(rtt)
+
+        self._probe_fn(on_result)
+        self._sim.call_after(self.interval, self._probe, label="ping:probe")
+
+    def stats(self) -> PingStats:
+        """Summarise the current window."""
+        sent = len(self._results)
+        rtts = [r for r in self._results if r is not None]
+        received = len(rtts)
+        return PingStats(
+            sent=sent,
+            received=received,
+            loss_fraction=0.0 if sent == 0 else 1.0 - received / sent,
+            mean_rtt=sum(rtts) / received if received else 0.0,
+            max_rtt=max(rtts) if rtts else 0.0,
+        )

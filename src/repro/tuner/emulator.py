@@ -1,0 +1,163 @@
+"""Trace-driven MNTP emulation.
+
+"The emulator is capable of running the MNTP algorithm using the
+captured traces and wireless hints and prints the offsets reported by
+MNTP."
+
+The emulator replays Algorithm 1 against a recorded
+:class:`~repro.tuner.traces.OffsetTrace` for an arbitrary
+:class:`~repro.core.config.MntpConfig`: the hint gate defers sampling
+instants whose recorded hints miss the thresholds, warm-up rounds use
+the multi-source offsets with false-ticker rejection, regular rounds
+the single source, and the shared :class:`~repro.core.filter.OffsetFilter`
+makes accept/reject decisions.
+
+Reported values are the *clock-corrected* offsets: each accepted
+offset's residual against the running trend line — what a clock steered
+by MNTP's drift estimate would still be off by.  The RMSE of these
+against a perfectly synchronized clock (0 ms) is the tuner's accuracy
+metric (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import MntpConfig
+from repro.core.falsetickers import reject_false_tickers
+from repro.core.filter import OffsetFilter
+from repro.core.thresholds import favorable_snr_condition
+from repro.metrics.stats import rmse
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one emulated configuration.
+
+    Attributes:
+        reported: (time, corrected offset) pairs for accepted samples
+            past bootstrap.
+        raw_accepted: (time, raw offset) pairs for all accepted samples.
+        rejected: (time, raw offset) pairs the filter rejected.
+        deferred: Sampling instants skipped by the hint gate.
+        requests: SNTP requests the configuration generated.
+        resets: Full algorithm restarts (reset period expiries).
+        warmup_completions: Times the warm-up phase finished.
+    """
+
+    reported: List[Tuple[float, float]] = field(default_factory=list)
+    raw_accepted: List[Tuple[float, float]] = field(default_factory=list)
+    rejected: List[Tuple[float, float]] = field(default_factory=list)
+    deferred: int = 0
+    requests: int = 0
+    resets: int = 0
+    warmup_completions: int = 0
+
+    def rmse(self) -> float:
+        """RMSE of the corrected offsets vs a perfect clock (seconds)."""
+        return rmse([offset for _, offset in self.reported])
+
+    def rmse_ms(self) -> float:
+        """RMSE in milliseconds (Table 2's unit)."""
+        return self.rmse() * 1000.0
+
+
+class MntpEmulator:
+    """Replays MNTP over a trace for one configuration."""
+
+    def __init__(self, trace, config: MntpConfig) -> None:
+        self.trace = trace
+        self.config = config
+
+    def run(self) -> EmulationResult:
+        """Execute the replay."""
+        cfg = self.config
+        result = EmulationResult()
+        fil = OffsetFilter(
+            min_samples=cfg.min_warmup_samples,
+            gate_floor=cfg.filter_gate_floor,
+            max_consecutive_rejections=cfg.max_consecutive_rejections,
+            two_sided=cfg.two_sided_rejection,
+            reestimate_every_sample=cfg.reestimate_every_sample,
+        )
+        entries = list(self.trace)
+        if not entries:
+            return result
+        start = entries[0].time
+        phase = "warmup"
+        phase_start = start
+        algorithm_start = start
+        next_action = start
+
+        for entry in entries:
+            if entry.time < next_action:
+                continue
+
+            # Reset check (Algorithm 1 step 23).
+            if entry.time - algorithm_start >= cfg.reset_period:
+                fil.reset()
+                phase = "warmup"
+                phase_start = entry.time
+                algorithm_start = entry.time
+                result.resets += 1
+
+            # Warm-up completion check (step 11).
+            if phase == "warmup" and entry.time - phase_start >= cfg.warmup_period:
+                phase = "regular"
+                phase_start = entry.time
+                result.warmup_completions += 1
+
+            # Hint gate (steps 5 / 17): a deferred instant retries at the
+            # next trace entry without consuming the wait time.
+            if cfg.enable_hint_gate and not favorable_snr_condition(
+                entry.hints, cfg.thresholds
+            ):
+                result.deferred += 1
+                continue
+
+            if phase == "warmup":
+                offsets = {
+                    source: value
+                    for source, value in entry.offsets.items()
+                    if source in cfg.warmup_pools and value is not None
+                }
+                result.requests += len(
+                    [s for s in entry.offsets if s in cfg.warmup_pools]
+                )
+                if offsets:
+                    verdict = reject_false_tickers(offsets)
+                    self._offer(fil, entry.time, verdict.combined_offset, result)
+                next_action = entry.time + cfg.warmup_wait_time
+            else:
+                value = entry.offsets.get(cfg.regular_source)
+                if value is None and entry.offsets:
+                    # Fall back to any responding source; a real MNTP
+                    # would retry, the trace only has what was recorded.
+                    value = next(
+                        (v for v in entry.offsets.values() if v is not None), None
+                    )
+                result.requests += 1
+                if value is not None:
+                    self._offer(fil, entry.time, value, result)
+                next_action = entry.time + cfg.regular_wait_time
+
+        return result
+
+    def _offer(
+        self, fil: OffsetFilter, time: float, offset: float, result: EmulationResult
+    ) -> None:
+        if not self.config.enable_filter:
+            fil.trend.add(time, offset)
+            result.raw_accepted.append((time, offset))
+            predicted = fil.trend.predict(time)
+            if predicted is not None:
+                result.reported.append((time, offset - predicted))
+            return
+        outcome = fil.offer(time, offset)
+        if outcome.decision.accepted:
+            result.raw_accepted.append((time, offset))
+            if outcome.predicted == outcome.predicted:  # not NaN
+                result.reported.append((time, offset - outcome.predicted))
+        else:
+            result.rejected.append((time, offset))

@@ -1,0 +1,94 @@
+"""The tuner's logging component.
+
+"The logging component runs on the TN of our testbed and emits SNTP
+requests to multiple reference clocks every 5 seconds and records the
+responses in the form of traces. It also records the corresponding
+wireless hints from the channel every time an SNTP request is emitted."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.ntp.sntp_client import SntpResult
+from repro.simcore.simulator import Simulator
+from repro.testbed.nodes import Testbed, TestbedOptions
+from repro.tuner.traces import OffsetTrace, TraceEntry
+
+
+@dataclass
+class LoggerOptions:
+    """Trace-collection knobs.
+
+    Attributes:
+        duration: Seconds of trace to record (paper: the 4 h run).
+        cadence: Seconds between sampling instants (paper: 5 s).
+        sources: Reference clocks queried in parallel each instant.
+        testbed: Environment the TN runs in (free-running clock by
+            default, matching the §5.2 longer experiment).
+    """
+
+    duration: float = 4 * 3600.0
+    cadence: float = 5.0
+    sources: Sequence[str] = (
+        "0.pool.ntp.org",
+        "1.pool.ntp.org",
+        "3.pool.ntp.org",
+    )
+    testbed: TestbedOptions = field(
+        default_factory=lambda: TestbedOptions(wireless=True, ntp_correction=False)
+    )
+
+
+class TraceLogger:
+    """Collects an :class:`OffsetTrace` from a simulated testbed run."""
+
+    def __init__(self, seed: int = 0, options: LoggerOptions = LoggerOptions()) -> None:
+        self.seed = seed
+        self.options = options
+
+    def run(self) -> OffsetTrace:
+        """Execute the collection run and return the trace."""
+        opts = self.options
+        sim = Simulator(seed=self.seed)
+        testbed = Testbed(sim, opts.testbed)
+        trace = OffsetTrace(cadence=opts.cadence)
+        client = testbed.mntp_app
+
+        def sample() -> None:
+            if sim.now >= opts.duration:
+                return
+            hints = testbed.hints.read_hints()
+            entry = TraceEntry(
+                time=sim.now,
+                rssi_dbm=hints.rssi_dbm,
+                noise_dbm=hints.noise_dbm,
+                true_offset=testbed.tn_clock.true_offset(),
+            )
+            outstanding = {"count": len(opts.sources)}
+            results: Dict[str, Optional[float]] = {}
+
+            def make_cb(source: str):
+                def on_result(result: SntpResult) -> None:
+                    if result.ok:
+                        assert result.sample is not None
+                        results[source] = result.sample.offset
+                    else:
+                        results[source] = None
+                    outstanding["count"] -= 1
+                    if outstanding["count"] == 0:
+                        entry.offsets = dict(results)
+                        trace.append(entry)
+
+                return on_result
+
+            for source in opts.sources:
+                client.query(source, make_cb(source), timeout=2.0)
+            sim.call_after(opts.cadence, sample, label="tuner:sample")
+
+        testbed.start_background()
+        sim.call_after(0.0, sample, label="tuner:sample")
+        sim.run_until(opts.duration + 5.0)  # let the final queries resolve
+        testbed.stop_background()
+        return trace

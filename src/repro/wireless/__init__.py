@@ -1,0 +1,29 @@
+"""Wireless channel substrate.
+
+Simulates the 802.11 last hop of the paper's testbed: an RSSI process
+(path loss + slow shadowing + fast fading + interference episodes), a
+noise-floor process, cross-traffic channel occupancy, and the mapping
+from channel state to per-packet loss and extra delay.
+
+MNTP consumes only the *hints* (RSSI, noise, SNR margin) and the
+resulting packet timings, so reproducing the joint statistics of
+(hints, loss, delay) reproduces the paper's operating conditions.
+"""
+
+from repro.wireless.hints import WirelessHints, HintProvider
+from repro.wireless.channel import WirelessChannel, ChannelParams
+from repro.wireless.crosstraffic import CrossTrafficGenerator, CrossTrafficParams
+from repro.wireless.wap import AccessPoint
+from repro.wireless.effects import ChannelEffects, EffectsParams
+
+__all__ = [
+    "WirelessHints",
+    "HintProvider",
+    "WirelessChannel",
+    "ChannelParams",
+    "CrossTrafficGenerator",
+    "CrossTrafficParams",
+    "AccessPoint",
+    "ChannelEffects",
+    "EffectsParams",
+]

@@ -1,0 +1,190 @@
+"""The wireless channel state process.
+
+State is advanced lazily on a fixed tick (default 1 s of virtual time):
+
+* **RSSI** = tx power - path loss + shadowing + fading - interference dip
+
+  - shadowing: Ornstein-Uhlenbeck (slow, correlated over ~minutes),
+  - fading: AR(1) (fast, correlated over ~seconds),
+  - interference episodes: Poisson arrivals with exponential holding
+    times; while active they depress RSSI and raise the noise floor —
+    the mechanism behind the paper's "highly-varying and lossy channel
+    condition" windows.
+
+* **Noise floor** = quiet floor + interference lift + small AR(1) jitter.
+
+The monitor node manipulates ``tx_power_dbm`` (via the access point)
+and the interference intensity (via cross-traffic), reproducing the
+paper's scriptable degradation tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.wireless.hints import WirelessHints
+
+
+@dataclass
+class ChannelParams:
+    """Tunable parameters of the channel process.
+
+    Attributes:
+        path_loss_db: Static path loss between WAP and client.
+        shadow_sigma_db: Stationary std-dev of the shadowing OU process.
+        shadow_tau_s: Shadowing correlation time constant.
+        fading_sigma_db: Stationary std-dev of the fast fading AR(1).
+        fading_rho: AR(1) coefficient per tick for fading.
+        quiet_noise_dbm: Noise floor with no interference.
+        noise_jitter_db: Small AR(1) jitter on the noise floor.
+        interference_rate_hz: Poisson arrival rate of interference episodes.
+        interference_mean_duration_s: Mean episode length.
+        interference_rssi_dip_db: Mean RSSI depression while active.
+        interference_noise_lift_db: Mean noise lift while active.
+        occupancy_noise_gain_db: Noise-floor lift per unit channel
+            occupancy (co-channel traffic raises the measured noise /
+            CCA level on real adaptors); applied when an occupancy
+            source is attached.
+        tick_s: State-advance granularity.
+    """
+
+    path_loss_db: float = 45.0
+    shadow_sigma_db: float = 3.0
+    shadow_tau_s: float = 120.0
+    fading_sigma_db: float = 2.5
+    fading_rho: float = 0.7
+    quiet_noise_dbm: float = -92.0
+    noise_jitter_db: float = 1.0
+    interference_rate_hz: float = 1.0 / 180.0
+    interference_mean_duration_s: float = 45.0
+    interference_rssi_dip_db: float = 12.0
+    interference_noise_lift_db: float = 18.0
+    occupancy_noise_gain_db: float = 15.0
+    tick_s: float = 1.0
+
+
+class WirelessChannel:
+    """Lazily-advanced wireless channel state.
+
+    Args:
+        params: Channel process parameters.
+        rng: Random stream dedicated to this channel.
+        now_fn: Callable returning current virtual time.
+        tx_power_dbm: Initial transmit power (adjustable at runtime by
+            the access point / monitor node).
+    """
+
+    def __init__(
+        self,
+        params: ChannelParams,
+        rng: np.random.Generator,
+        now_fn,
+        tx_power_dbm: float = -10.0,
+    ) -> None:
+        if params.tick_s <= 0:
+            raise ValueError("tick must be positive")
+        if not 0.0 <= params.fading_rho < 1.0:
+            raise ValueError("fading rho must be in [0, 1)")
+        self.params = params
+        self._rng = rng
+        self._now_fn = now_fn
+        self.tx_power_dbm = float(tx_power_dbm)
+        self._last_tick = float(now_fn())
+        self._shadow_db = 0.0
+        self._fading_db = 0.0
+        self._noise_jitter_db = 0.0
+        # Interference episode state: remaining seconds and strengths.
+        self._intf_remaining_s = 0.0
+        self._intf_rssi_dip_db = 0.0
+        self._intf_noise_lift_db = 0.0
+        #: Extra interference pressure in [0, inf): scales episode rate.
+        #: The monitor node raises this while cross-traffic is active.
+        self.interference_pressure = 1.0
+        #: Optional callable returning current channel occupancy [0, 1];
+        #: attached by the topology so co-channel traffic lifts the
+        #: measured noise floor.
+        self.occupancy_fn = None
+
+    # -- state advancement -------------------------------------------------
+
+    def _advance(self) -> None:
+        now = float(self._now_fn())
+        p = self.params
+        while self._last_tick + p.tick_s <= now:
+            self._step_once(p.tick_s)
+            self._last_tick += p.tick_s
+
+    def _step_once(self, dt: float) -> None:
+        p = self.params
+        # Shadowing: exact OU discretisation.
+        alpha = math.exp(-dt / p.shadow_tau_s)
+        shock_sigma = p.shadow_sigma_db * math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        self._shadow_db = alpha * self._shadow_db + float(
+            self._rng.normal(0.0, shock_sigma)
+        )
+        # Fast fading AR(1).
+        rho = p.fading_rho
+        fade_sigma = p.fading_sigma_db * math.sqrt(max(0.0, 1.0 - rho * rho))
+        self._fading_db = rho * self._fading_db + float(self._rng.normal(0.0, fade_sigma))
+        # Noise jitter AR(1) with the same rho as fading.
+        nj_sigma = p.noise_jitter_db * math.sqrt(max(0.0, 1.0 - rho * rho))
+        self._noise_jitter_db = rho * self._noise_jitter_db + float(
+            self._rng.normal(0.0, nj_sigma)
+        )
+        # Interference episodes.
+        if self._intf_remaining_s > 0:
+            self._intf_remaining_s = max(0.0, self._intf_remaining_s - dt)
+            if self._intf_remaining_s == 0.0:
+                self._intf_rssi_dip_db = 0.0
+                self._intf_noise_lift_db = 0.0
+        else:
+            rate = p.interference_rate_hz * max(0.0, self.interference_pressure)
+            if rate > 0 and self._rng.random() < 1.0 - math.exp(-rate * dt):
+                self._intf_remaining_s = float(
+                    self._rng.exponential(p.interference_mean_duration_s)
+                )
+                self._intf_rssi_dip_db = float(
+                    self._rng.normal(p.interference_rssi_dip_db, 3.0)
+                )
+                self._intf_noise_lift_db = float(
+                    self._rng.normal(p.interference_noise_lift_db, 4.0)
+                )
+
+    # -- reads --------------------------------------------------------------
+
+    def read_hints(self) -> WirelessHints:
+        """Current (RSSI, noise) as the adaptor would report them."""
+        self._advance()
+        p = self.params
+        rssi = (
+            self.tx_power_dbm
+            - p.path_loss_db
+            + self._shadow_db
+            + self._fading_db
+            - max(0.0, self._intf_rssi_dip_db)
+        )
+        noise = p.quiet_noise_dbm + self._noise_jitter_db + max(
+            0.0, self._intf_noise_lift_db
+        )
+        if self.occupancy_fn is not None:
+            noise += p.occupancy_noise_gain_db * max(0.0, min(1.0, self.occupancy_fn()))
+        return WirelessHints(rssi_dbm=rssi, noise_dbm=noise)
+
+    def interference_active(self) -> bool:
+        """Whether an interference episode is in progress."""
+        self._advance()
+        return self._intf_remaining_s > 0
+
+    # -- control (used by the WAP / monitor node) ----------------------------
+
+    def set_tx_power(self, dbm: float) -> None:
+        """Change the transmit power (legal-range clamped to [-30, 0] dBm
+        relative scale used in the testbed)."""
+        self.tx_power_dbm = float(min(0.0, max(-30.0, dbm)))
+
+    def set_interference_pressure(self, pressure: float) -> None:
+        """Scale the interference episode arrival rate (>= 0)."""
+        self.interference_pressure = max(0.0, float(pressure))

@@ -1,0 +1,57 @@
+"""Wireless hints: the cross-layer information MNTP reads.
+
+The paper obtains RSSI and noise from the wireless adaptor (``airport``
+on macOS, ``iwconfig`` on Linux) and derives the SNR margin as
+``RSSI - noise``.  :class:`WirelessHints` is that triple;
+:class:`HintProvider` is the minimal protocol a device must expose for
+MNTP to run — the paper's "only support needed from the wireless host".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class WirelessHints:
+    """A point-in-time reading of the wireless adaptor.
+
+    Attributes:
+        rssi_dbm: Received signal strength indication (dBm; higher is
+            better, typically -30 .. -90).
+        noise_dbm: Noise floor (dBm; lower is better, typically -100 .. -60).
+    """
+
+    rssi_dbm: float
+    noise_dbm: float
+
+    @property
+    def snr_margin_db(self) -> float:
+        """SNR margin = RSSI - noise, the paper's stability signal."""
+        return self.rssi_dbm - self.noise_dbm
+
+
+class HintProvider(Protocol):
+    """Anything that can report current wireless hints."""
+
+    def read_hints(self) -> WirelessHints:
+        """Return the adaptor's current RSSI/noise reading."""
+        ...
+
+
+class StaticHintProvider:
+    """Fixed hints — used by tests and by wired scenarios where the
+    gate must always (or never) pass."""
+
+    def __init__(self, hints: WirelessHints) -> None:
+        self._hints = hints
+
+    def read_hints(self) -> WirelessHints:
+        """Return the fixed reading."""
+        return self._hints
+
+
+#: A reading comfortably above every MNTP threshold; handed to MNTP in
+#: wired experiments so the hint gate never defers.
+ALWAYS_FAVORABLE = WirelessHints(rssi_dbm=-40.0, noise_dbm=-95.0)

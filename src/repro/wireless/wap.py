@@ -1,0 +1,57 @@
+"""The wireless access point.
+
+In the paper's testbed the WAP is a laptop turned into a hotspot that
+"has the ability to programmatically increase or decrease the
+transmission power ... upon receiving commands from the monitor node".
+Here the AP owns the channel and exposes that command interface.
+"""
+
+from __future__ import annotations
+
+from repro.wireless.channel import WirelessChannel
+
+
+class AccessPoint:
+    """Programmable WAP wrapping a :class:`WirelessChannel`.
+
+    Args:
+        channel: The channel between this AP and its associated client.
+        min_tx_dbm / max_tx_dbm: Legal transmit power range.
+        step_db: Granularity of power adjustments.
+    """
+
+    def __init__(
+        self,
+        channel: WirelessChannel,
+        min_tx_dbm: float = -30.0,
+        max_tx_dbm: float = 0.0,
+        step_db: float = 3.0,
+    ) -> None:
+        if min_tx_dbm >= max_tx_dbm:
+            raise ValueError("min tx power must be below max")
+        self.channel = channel
+        self.min_tx_dbm = float(min_tx_dbm)
+        self.max_tx_dbm = float(max_tx_dbm)
+        self.step_db = float(step_db)
+        self.commands_received = 0
+
+    @property
+    def tx_power_dbm(self) -> float:
+        """Current transmit power."""
+        return self.channel.tx_power_dbm
+
+    def set_tx_power(self, dbm: float) -> float:
+        """Set transmit power, clamped to the legal range; returns the
+        applied value."""
+        self.commands_received += 1
+        applied = min(self.max_tx_dbm, max(self.min_tx_dbm, float(dbm)))
+        self.channel.set_tx_power(applied)
+        return applied
+
+    def increase_tx_power(self) -> float:
+        """Raise power one step (monitor-node command)."""
+        return self.set_tx_power(self.tx_power_dbm + self.step_db)
+
+    def decrease_tx_power(self) -> float:
+        """Lower power one step (monitor-node command)."""
+        return self.set_tx_power(self.tx_power_dbm - self.step_db)

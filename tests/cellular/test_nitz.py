@@ -1,0 +1,94 @@
+"""NITZ one-off time updates."""
+
+import pytest
+
+from repro.cellular.nitz import NitzParams, NitzService
+from repro.simcore import Simulator
+from tests.ntp.helpers import drifting_clock, perfect_clock
+
+
+def test_force_crossing_steps_clock_to_carrier_second():
+    sim = Simulator(seed=1)
+    clock = perfect_clock(sim, offset=30.0, stream="p")
+    sim.run_until(100.0)
+    nitz = NitzService(sim, clock, NitzParams(carrier_error_sigma=0.0))
+    nitz.force_crossing()
+    # Carrier time == true time, quantized to whole seconds.
+    assert abs(clock.true_offset()) <= 1.0
+    assert nitz.updates == 1
+
+
+def test_quantization_leaves_subsecond_error():
+    sim = Simulator(seed=1)
+    clock = perfect_clock(sim, offset=0.0, stream="p")
+    sim.run_until(123.456)
+    nitz = NitzService(sim, clock, NitzParams(carrier_error_sigma=0.0))
+    nitz.force_crossing()
+    # floor(123.456) = 123 -> clock now 0.456 s behind.
+    assert clock.true_offset() == pytest.approx(-0.456, abs=1e-6)
+
+
+def test_carrier_error_passed_through():
+    sim = Simulator(seed=1)
+    clock = perfect_clock(sim, stream="p")
+    nitz = NitzService(sim, clock, NitzParams(carrier_error_sigma=5.0))
+    sim.run_until(1000.0)
+    nitz.force_crossing()
+    # Seconds-scale error is normal for NITZ.
+    assert abs(clock.true_offset()) < 30.0
+
+
+def test_crossings_arrive_stochastically():
+    sim = Simulator(seed=2)
+    clock = drifting_clock(sim, skew_ppm=10.0, stream="d")
+    nitz = NitzService(sim, clock, NitzParams(crossing_rate_hz=1.0 / 600.0))
+    nitz.start()
+    sim.run_until(24 * 3600.0)
+    # ~144 expected; allow wide slack.
+    assert 60 < nitz.updates < 300
+    assert len(sim.trace.select(component="nitz", kind="update")) == nitz.updates
+
+
+def test_stationary_device_gets_no_updates():
+    sim = Simulator(seed=3)
+    clock = drifting_clock(sim, skew_ppm=10.0, stream="d")
+    nitz = NitzService(sim, clock, NitzParams(crossing_rate_hz=0.0))
+    nitz.start()
+    sim.run_until(7 * 24 * 3600.0)
+    assert nitz.updates == 0
+    # Paper's point: without periodic sync the clock just drifts.
+    assert abs(clock.true_offset()) > 1.0
+
+
+def test_stop():
+    sim = Simulator(seed=4)
+    clock = perfect_clock(sim, stream="p")
+    nitz = NitzService(sim, clock, NitzParams(crossing_rate_hz=1.0))
+    nitz.start()
+    sim.run_until(10.0)
+    nitz.stop()
+    count = nitz.updates
+    sim.run_until(1000.0)
+    assert nitz.updates == count
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        NitzParams(crossing_rate_hz=-1.0)
+    with pytest.raises(ValueError):
+        NitzParams(quantization=0.0)
+
+
+def test_nitz_weaker_than_mntp_accuracy_class():
+    """The §2 claim: NITZ is a weaker mechanism — even with frequent
+    crossings the clock error is seconds-scale, 100x worse than MNTP's
+    tens of ms."""
+    sim = Simulator(seed=5)
+    clock = drifting_clock(sim, skew_ppm=15.0, stream="d")
+    nitz = NitzService(sim, clock, NitzParams(crossing_rate_hz=1.0 / 1800.0))
+    nitz.start()
+    worst = 0.0
+    for hour in range(24):
+        sim.run_until((hour + 1) * 3600.0)
+        worst = max(worst, abs(clock.true_offset()))
+    assert worst > 0.2  # hundreds of ms at best, often seconds

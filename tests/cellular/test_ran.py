@@ -1,0 +1,89 @@
+"""RRC state machine delay model."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.ran import RadioAccessNetwork, RanParams, RrcState
+
+
+def _ran(now_box, seed=0, **params):
+    return RadioAccessNetwork(
+        RanParams(**params), np.random.default_rng(seed), now_fn=lambda: now_box[0]
+    )
+
+
+def test_starts_idle():
+    now = [0.0]
+    ran = _ran(now)
+    assert ran.state is RrcState.IDLE
+
+
+def test_first_uplink_pays_promotion():
+    now = [0.0]
+    ran = _ran(now, loss_rate=0.0, spike_rate=0.0)
+    delay, lost = ran.sample_uplink()
+    assert not lost
+    assert delay >= ran.params.promotion_min + ran.params.uplink_base
+    assert ran.promotions == 1
+
+
+def test_connected_uplink_skips_promotion():
+    now = [0.0]
+    ran = _ran(now, loss_rate=0.0, spike_rate=0.0)
+    ran.sample_uplink()  # promotes
+    now[0] = 1.0  # still within inactivity timeout
+    delay, _ = ran.sample_uplink()
+    assert delay < ran.params.promotion_min
+    assert ran.promotions == 1
+
+
+def test_inactivity_demotes():
+    now = [0.0]
+    ran = _ran(now, inactivity_timeout=10.0, loss_rate=0.0, spike_rate=0.0)
+    ran.sample_uplink()
+    now[0] = 5.0
+    assert ran.state is RrcState.CONNECTED
+    now[0] = 20.0
+    assert ran.state is RrcState.IDLE
+    ran.sample_uplink()
+    assert ran.promotions == 2
+
+
+def test_downlink_never_promotes():
+    now = [0.0]
+    ran = _ran(now, loss_rate=0.0, spike_rate=0.0)
+    delay, lost = ran.sample_downlink()
+    assert not lost
+    assert ran.promotions == 0
+    assert delay < 0.2
+
+
+def test_uplink_slower_than_downlink_on_average():
+    now = [0.0]
+    ran = _ran(now, seed=1, loss_rate=0.0, spike_rate=0.0, inactivity_timeout=0.0)
+    # Timeout 0 forces promotion on every uplink.
+    ups, downs = [], []
+    for i in range(300):
+        now[0] = i * 100.0
+        ups.append(ran.sample_uplink()[0])
+        downs.append(ran.sample_downlink()[0])
+    assert np.mean(ups) > np.mean(downs) + 0.1
+
+
+def test_loss():
+    now = [0.0]
+    ran = _ran(now, seed=2, loss_rate=0.5)
+    lost = sum(ran.sample_downlink()[1] for _ in range(2000))
+    assert lost / 2000 == pytest.approx(0.5, abs=0.05)
+
+
+def test_promotion_floor_respected():
+    now = [0.0]
+    ran = _ran(
+        now, seed=3, promotion_mean=0.001, promotion_sigma=0.5,
+        promotion_min=0.15, loss_rate=0.0, spike_rate=0.0, inactivity_timeout=0.0,
+    )
+    for i in range(100):
+        now[0] = i * 100.0
+        delay, _ = ran.sample_uplink()
+        assert delay >= 0.15

@@ -1,0 +1,70 @@
+"""ClockCorrector step/slew policy."""
+
+import numpy as np
+import pytest
+
+from repro.clock.discipline_api import ClockCorrector, SlewLimits
+from repro.clock.oscillator import Oscillator, OscillatorGrade
+from repro.clock.simclock import SimClock
+
+
+def _clock(now_box):
+    grade = OscillatorGrade(
+        name="perfect", base_skew_ppm_sigma=0.0, wander_ppm_per_sqrt_s=0.0,
+        temp_coeff_ppm_per_k=0.0,
+    )
+    osc = Oscillator(grade, np.random.default_rng(0))
+    return SimClock(osc, now_fn=lambda: now_box[0])
+
+
+def test_large_offset_steps():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock)
+    assert corr.apply_offset(0.5) == "step"
+    assert clock.true_offset() == pytest.approx(0.5)
+
+
+def test_small_offset_slews():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock)
+    assert corr.apply_offset(0.010) == "slew"
+    assert clock.true_offset() == pytest.approx(0.0)  # not yet absorbed
+    now[0] = 60.0
+    assert clock.true_offset() == pytest.approx(0.010, abs=1e-9)
+
+
+def test_threshold_boundary():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock, SlewLimits(step_threshold=0.1))
+    assert corr.apply_offset(0.100) == "slew"
+    assert corr.apply_offset(0.101) == "step"
+
+
+def test_disabled_corrector_noops():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock, enabled=False)
+    assert corr.apply_offset(0.5) == "noop"
+    assert corr.apply_offset_step(0.5) == "noop"
+    assert corr.apply_frequency(1e-5) == "noop"
+    assert clock.true_offset() == pytest.approx(0.0)
+    assert clock.frequency_adjustment_ppm == 0.0
+
+
+def test_apply_offset_step_always_steps():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock)
+    assert corr.apply_offset_step(0.001) == "step"
+    assert clock.true_offset() == pytest.approx(0.001)
+
+
+def test_apply_frequency_cancels_skew():
+    now = [0.0]
+    clock = _clock(now)
+    corr = ClockCorrector(clock)
+    corr.apply_frequency(5e-6)  # local clock 5 ppm fast
+    assert clock.frequency_adjustment_ppm == pytest.approx(-5.0)

@@ -1,0 +1,64 @@
+"""Oscillator grade and frequency-error behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
+
+
+def test_grades_exist():
+    assert {"reference", "server", "laptop", "phone"} <= set(OSCILLATOR_GRADES)
+
+
+def test_grade_quality_ordering():
+    g = OSCILLATOR_GRADES
+    assert g["reference"].base_skew_ppm_sigma < g["server"].base_skew_ppm_sigma
+    assert g["server"].base_skew_ppm_sigma < g["laptop"].base_skew_ppm_sigma
+    assert g["laptop"].base_skew_ppm_sigma < g["phone"].base_skew_ppm_sigma
+
+
+def test_base_skew_sampled_from_grade(rng):
+    draws = [
+        Oscillator(OSCILLATOR_GRADES["laptop"], np.random.default_rng(i)).base_skew_ppm
+        for i in range(200)
+    ]
+    sigma = OSCILLATOR_GRADES["laptop"].base_skew_ppm_sigma
+    assert abs(np.std(draws) - sigma) / sigma < 0.25
+
+
+def test_frequency_error_includes_temperature(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["laptop"], rng)
+    at_ref = osc.frequency_error(0.0, osc.grade.reference_temp_c)
+    hot = osc.frequency_error(0.0, osc.grade.reference_temp_c + 10.0)
+    expected_delta = osc.grade.temp_coeff_ppm_per_k * 10.0 * 1e-6
+    assert hot - at_ref == pytest.approx(expected_delta)
+
+
+def test_frequency_error_includes_wander(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["laptop"], rng)
+    base = osc.frequency_error(0.0, 25.0)
+    with_wander = osc.frequency_error(3.0, 25.0)
+    assert with_wander - base == pytest.approx(3.0e-6)
+
+
+def test_wander_step_scales_with_sqrt_dt(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["phone"], np.random.default_rng(0))
+    short = np.std([osc.wander_step(1.0) for _ in range(2000)])
+    long = np.std([osc.wander_step(100.0) for _ in range(2000)])
+    assert long / short == pytest.approx(10.0, rel=0.15)
+
+
+def test_wander_step_zero_dt(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["laptop"], rng)
+    assert osc.wander_step(0.0) == 0.0
+
+
+def test_wander_step_negative_dt_rejected(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["laptop"], rng)
+    with pytest.raises(ValueError):
+        osc.wander_step(-1.0)
+
+
+def test_reference_grade_is_tight(rng):
+    osc = Oscillator(OSCILLATOR_GRADES["reference"], rng)
+    assert abs(osc.base_skew_ppm) < 0.01  # sub-ppb-scale constant error

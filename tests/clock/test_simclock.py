@@ -1,0 +1,162 @@
+"""SimClock drift, corrections, and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator, OscillatorGrade
+from repro.clock.simclock import SimClock
+from repro.clock.temperature import ConstantTemperature
+
+
+def _perfect_grade() -> OscillatorGrade:
+    return OscillatorGrade(
+        name="perfect", base_skew_ppm_sigma=0.0, wander_ppm_per_sqrt_s=0.0,
+        temp_coeff_ppm_per_k=0.0,
+    )
+
+
+def _make(now_box, skew_ppm=0.0, initial_offset=0.0):
+    rng = np.random.default_rng(0)
+    osc = Oscillator(_perfect_grade(), rng)
+    osc.base_skew_ppm = skew_ppm  # deterministic skew
+    return SimClock(osc, now_fn=lambda: now_box[0], initial_offset=initial_offset)
+
+
+def test_perfect_clock_tracks_true_time():
+    now = [0.0]
+    clock = _make(now)
+    now[0] = 1000.0
+    assert clock.read() == pytest.approx(1000.0)
+    assert clock.true_offset() == pytest.approx(0.0)
+
+
+def test_constant_skew_accumulates_linearly():
+    now = [0.0]
+    clock = _make(now, skew_ppm=10.0)
+    now[0] = 3600.0
+    # +10 ppm for an hour = +36 ms.
+    assert clock.true_offset() == pytest.approx(0.036, rel=1e-6)
+
+
+def test_initial_offset_respected():
+    now = [0.0]
+    clock = _make(now, initial_offset=0.5)
+    assert clock.read() == pytest.approx(0.5)
+
+
+def test_step_moves_clock_instantly():
+    now = [0.0]
+    clock = _make(now)
+    clock.step(0.25)
+    assert clock.true_offset() == pytest.approx(0.25)
+    assert clock.step_count == 1
+
+
+def test_slew_is_gradual():
+    now = [0.0]
+    clock = _make(now)
+    clock.slew(0.001, rate=500e-6)  # needs 2 s to absorb
+    now[0] = 1.0
+    mid = clock.true_offset()
+    assert 0.0 < mid < 0.001
+    now[0] = 10.0
+    assert clock.true_offset() == pytest.approx(0.001, abs=1e-9)
+    assert clock.slew_count == 1
+
+
+def test_negative_slew():
+    now = [0.0]
+    clock = _make(now, initial_offset=0.002)
+    clock.slew(-0.002, rate=500e-6)
+    now[0] = 10.0
+    assert clock.true_offset() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_slew_bad_rate():
+    now = [0.0]
+    clock = _make(now)
+    with pytest.raises(ValueError):
+        clock.slew(0.001, rate=0.0)
+
+
+def test_frequency_adjustment_cancels_skew():
+    now = [0.0]
+    clock = _make(now, skew_ppm=10.0)
+    clock.adjust_frequency(-10.0)
+    now[0] = 3600.0
+    assert clock.true_offset() == pytest.approx(0.0, abs=1e-9)
+    assert clock.frequency_adjustment_ppm == -10.0
+
+
+def test_nudge_frequency_accumulates():
+    now = [0.0]
+    clock = _make(now)
+    clock.nudge_frequency(3.0)
+    clock.nudge_frequency(-1.0)
+    assert clock.frequency_adjustment_ppm == pytest.approx(2.0)
+
+
+def test_time_going_backwards_rejected():
+    now = [100.0]
+    clock = _make(now)
+    clock.read()
+    now[0] = 50.0
+    with pytest.raises(ValueError):
+        clock.read()
+
+
+def test_current_skew_reports_total():
+    now = [0.0]
+    clock = _make(now, skew_ppm=5.0)
+    clock.adjust_frequency(2.0)
+    assert clock.current_skew() == pytest.approx(7e-6)
+
+
+def test_reads_are_monotone_with_time():
+    """Local time must never go backwards as true time advances."""
+    now = [0.0]
+    rng = np.random.default_rng(3)
+    osc = Oscillator(OSCILLATOR_GRADES["phone"], rng)
+    clock = SimClock(osc, now_fn=lambda: now[0])
+    last = clock.read()
+    for t in np.linspace(1, 5000, 137):
+        now[0] = float(t)
+        current = clock.read()
+        assert current > last  # skew is ppm-scale, cannot reverse time
+        last = current
+
+
+def test_temperature_drives_drift():
+    now = [0.0]
+    rng = np.random.default_rng(0)
+    grade = OscillatorGrade(
+        name="t", base_skew_ppm_sigma=0.0, wander_ppm_per_sqrt_s=0.0,
+        temp_coeff_ppm_per_k=1.0, reference_temp_c=25.0,
+    )
+    clock = SimClock(
+        Oscillator(grade, rng),
+        now_fn=lambda: now[0],
+        temperature=ConstantTemperature(35.0),
+    )
+    now[0] = 1000.0
+    # 10 K above reference at 1 ppm/K = +10 ppm -> 10 ms over 1000 s.
+    assert clock.true_offset() == pytest.approx(0.010, rel=1e-6)
+
+
+def test_update_interval_must_be_positive():
+    rng = np.random.default_rng(0)
+    osc = Oscillator(_perfect_grade(), rng)
+    with pytest.raises(ValueError):
+        SimClock(osc, now_fn=lambda: 0.0, update_interval=0.0)
+
+
+def test_wander_changes_offset_stochastically():
+    now = [0.0]
+    rng = np.random.default_rng(1)
+    grade = OscillatorGrade(
+        name="w", base_skew_ppm_sigma=0.0, wander_ppm_per_sqrt_s=0.5,
+        temp_coeff_ppm_per_k=0.0,
+    )
+    clock = SimClock(Oscillator(grade, rng), now_fn=lambda: now[0])
+    now[0] = 10_000.0
+    assert clock.true_offset() != 0.0

@@ -1,0 +1,95 @@
+"""Property-based tests for the clock model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock.oscillator import Oscillator, OscillatorGrade
+from repro.clock.simclock import SimClock
+
+
+def _deterministic_clock(now_box, skew_ppm):
+    grade = OscillatorGrade(
+        name="det", base_skew_ppm_sigma=0.0, wander_ppm_per_sqrt_s=0.0,
+        temp_coeff_ppm_per_k=0.0,
+    )
+    osc = Oscillator(grade, np.random.default_rng(0))
+    osc.base_skew_ppm = skew_ppm
+    return SimClock(osc, now_fn=lambda: now_box[0])
+
+
+@given(
+    skew=st.floats(-100.0, 100.0),
+    horizon=st.floats(1.0, 1e5),
+)
+def test_constant_skew_offset_is_linear(skew, horizon):
+    now = [0.0]
+    clock = _deterministic_clock(now, skew)
+    now[0] = horizon
+    assert clock.true_offset() == pytest.approx(skew * 1e-6 * horizon, rel=1e-9,
+                                                abs=1e-12)
+
+
+@given(
+    steps=st.lists(st.floats(-10.0, 10.0), max_size=10),
+)
+def test_steps_sum_exactly(steps):
+    now = [0.0]
+    clock = _deterministic_clock(now, 0.0)
+    for delta in steps:
+        clock.step(delta)
+    assert clock.true_offset() == pytest.approx(sum(steps), abs=1e-12)
+
+
+@given(
+    skew=st.floats(-50.0, 50.0),
+    split=st.floats(0.1, 0.9),
+    horizon=st.floats(10.0, 1e4),
+)
+def test_reads_are_path_independent(skew, split, horizon):
+    """Reading the clock midway must not change where it ends up."""
+    now_a = [0.0]
+    a = _deterministic_clock(now_a, skew)
+    now_a[0] = horizon
+    end_a = a.true_offset()
+
+    now_b = [0.0]
+    b = _deterministic_clock(now_b, skew)
+    now_b[0] = horizon * split
+    b.true_offset()  # intermediate read
+    now_b[0] = horizon
+    end_b = b.true_offset()
+    assert end_a == pytest.approx(end_b, abs=1e-12)
+
+
+@settings(max_examples=30)
+@given(
+    delta=st.floats(-0.5, 0.5),
+    rate=st.floats(1e-5, 1e-3),
+)
+def test_slew_converges_exactly(delta, rate):
+    now = [0.0]
+    clock = _deterministic_clock(now, 0.0)
+    clock.slew(delta, rate=rate)
+    # After enough time the whole delta is absorbed, no overshoot.
+    now[0] = abs(delta) / rate + 100.0
+    assert clock.true_offset() == pytest.approx(delta, abs=1e-12)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 1000))
+def test_wandering_clock_is_monotone(seed):
+    """Even with wander, local time never runs backwards."""
+    grade = OscillatorGrade(
+        name="w", base_skew_ppm_sigma=30.0, wander_ppm_per_sqrt_s=0.01,
+        temp_coeff_ppm_per_k=0.0,
+    )
+    now = [0.0]
+    clock = SimClock(Oscillator(grade, np.random.default_rng(seed)),
+                     now_fn=lambda: now[0])
+    last = clock.read()
+    for t in np.linspace(1.0, 2000.0, 83):
+        now[0] = float(t)
+        value = clock.read()
+        assert value > last
+        last = value

@@ -1,0 +1,53 @@
+"""Temperature profiles."""
+
+import pytest
+
+from repro.clock.temperature import (
+    ConstantTemperature,
+    DiurnalTemperature,
+    RampTemperature,
+)
+
+
+def test_constant_is_constant():
+    profile = ConstantTemperature(22.0)
+    assert profile.at(0) == 22.0
+    assert profile.at(1e6) == 22.0
+
+
+def test_diurnal_oscillates_around_mean():
+    profile = DiurnalTemperature(mean_c=25.0, amplitude_c=5.0, period_s=86_400.0)
+    quarter = 86_400.0 / 4
+    assert profile.at(quarter) == pytest.approx(30.0)
+    assert profile.at(3 * quarter) == pytest.approx(20.0)
+    assert profile.at(0.0) == pytest.approx(25.0)
+
+
+def test_diurnal_periodicity():
+    profile = DiurnalTemperature(period_s=100.0)
+    assert profile.at(13.0) == pytest.approx(profile.at(113.0))
+
+
+def test_diurnal_bad_period():
+    with pytest.raises(ValueError):
+        DiurnalTemperature(period_s=0.0)
+
+
+def test_ramp_endpoints():
+    profile = RampTemperature(start_c=20.0, end_c=35.0, ramp_duration_s=100.0)
+    assert profile.at(-5.0) == 20.0
+    assert profile.at(0.0) == 20.0
+    assert profile.at(50.0) == pytest.approx(27.5)
+    assert profile.at(100.0) == 35.0
+    assert profile.at(1e9) == 35.0
+
+
+def test_ramp_bad_duration():
+    with pytest.raises(ValueError):
+        RampTemperature(ramp_duration_s=0.0)
+
+
+def test_ramp_monotone():
+    profile = RampTemperature(start_c=10.0, end_c=40.0, ramp_duration_s=60.0)
+    values = [profile.at(t) for t in range(0, 61, 5)]
+    assert values == sorted(values)

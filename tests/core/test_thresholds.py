@@ -1,0 +1,51 @@
+"""The favorable-SNR gate."""
+
+from repro.core.config import HintThresholds
+from repro.core.thresholds import failing_conditions, favorable_snr_condition
+from repro.wireless.hints import WirelessHints
+
+
+T = HintThresholds()
+
+
+def _h(rssi, noise):
+    return WirelessHints(rssi_dbm=rssi, noise_dbm=noise)
+
+
+def test_clearly_good_passes():
+    assert favorable_snr_condition(_h(-50.0, -92.0), T)
+
+
+def test_low_rssi_fails():
+    assert not favorable_snr_condition(_h(-80.0, -92.0), T)
+    assert "rssi" in failing_conditions(_h(-80.0, -92.0), T)
+
+
+def test_high_noise_fails():
+    assert not favorable_snr_condition(_h(-40.0, -65.0), T)
+    assert "noise" in failing_conditions(_h(-40.0, -65.0), T)
+
+
+def test_thin_margin_fails():
+    # RSSI and noise individually fine but margin < 20 dB.
+    hints = _h(-72.0, -88.0)  # margin 16
+    assert not favorable_snr_condition(hints, T)
+    assert failing_conditions(hints, T) == ["snr_margin"]
+
+
+def test_boundaries_match_paper_wording():
+    # "RSSI should be greater than -75": exactly -75 fails.
+    assert not favorable_snr_condition(_h(-75.0, -100.0), T)
+    # "noise lesser than -70": exactly -70 fails.
+    assert not favorable_snr_condition(_h(-40.0, -70.0), T)
+    # "SNR margin greater than or equal to 20": exactly 20 passes.
+    assert favorable_snr_condition(_h(-60.0, -80.0), T)
+
+
+def test_multiple_failures_listed():
+    failures = failing_conditions(_h(-90.0, -60.0), T)
+    assert set(failures) == {"rssi", "noise", "snr_margin"}
+
+
+def test_no_failures_when_favorable():
+    assert failing_conditions(_h(-50.0, -92.0), T) == []

@@ -1,0 +1,108 @@
+"""TrendLine fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.trend import TrendLine
+
+
+def test_unfit_with_fewer_than_two_points():
+    t = TrendLine()
+    assert t.slope is None
+    assert t.predict(10.0) is None
+    t.add(0.0, 1.0)
+    assert t.slope is None
+
+
+def test_exact_line_recovered():
+    t = TrendLine()
+    for x in range(10):
+        t.add(float(x), 2.0 + 0.5 * x)
+    assert t.slope == pytest.approx(0.5)
+    assert t.predict(20.0) == pytest.approx(12.0)
+
+
+def test_residual_stats_zero_on_exact_fit():
+    t = TrendLine()
+    for x in range(5):
+        t.add(float(x), 3.0 * x)
+    mean, std = t.residual_stats()
+    assert mean == pytest.approx(0.0, abs=1e-12)
+    assert std == pytest.approx(0.0, abs=1e-12)
+
+
+def test_residuals_reflect_noise():
+    rng = np.random.default_rng(0)
+    t = TrendLine()
+    for x in range(100):
+        t.add(float(x), 0.001 * x + float(rng.normal(0, 0.01)))
+    mean, std = t.residual_stats()
+    assert mean == pytest.approx(0.0001, rel=0.5)  # E[resid^2] ~ 1e-4
+
+
+def test_matches_numpy_polyfit():
+    rng = np.random.default_rng(1)
+    xs = np.sort(rng.uniform(0, 1000, 50))
+    ys = rng.normal(0, 1, 50)
+    t = TrendLine()
+    for x, y in zip(xs, ys):
+        t.add(float(x), float(y))
+    slope_np, intercept_np = np.polyfit(xs, ys, 1)
+    assert t.slope == pytest.approx(float(slope_np), rel=1e-6)
+    assert t.predict(0.0) == pytest.approx(float(intercept_np), rel=1e-4, abs=1e-9)
+
+
+def test_large_epoch_numerically_stable():
+    """Fits at epoch ~1.46e9 (the trace epoch) must not lose precision."""
+    t = TrendLine()
+    t0 = 1_460_000_000.0
+    for x in range(20):
+        t.add(t0 + x * 5.0, 0.001 + 1e-6 * x * 5.0)
+    assert t.slope == pytest.approx(1e-6, rel=1e-3)
+    assert t.predict(t0 + 200.0) == pytest.approx(0.001 + 2e-4, rel=1e-3)
+
+
+def test_window_bounds_memory():
+    t = TrendLine(max_points=10)
+    for x in range(100):
+        t.add(float(x), float(x))
+    assert len(t) == 10
+    times, _ = t.points()
+    assert times[0] == 90.0
+
+
+def test_clear():
+    t = TrendLine()
+    t.add(0.0, 1.0)
+    t.add(1.0, 2.0)
+    t.clear()
+    assert len(t) == 0
+    assert t.slope is None
+
+
+def test_min_window_size_rejected():
+    with pytest.raises(ValueError):
+        TrendLine(max_points=1)
+
+
+def test_refit_after_add():
+    t = TrendLine()
+    t.add(0.0, 0.0)
+    t.add(1.0, 1.0)
+    assert t.slope == pytest.approx(1.0)
+    t.add(2.0, 4.0)  # bends the fit upward
+    assert t.slope == pytest.approx(2.0)
+
+
+@given(
+    slope=st.floats(-1e-3, 1e-3),
+    intercept=st.floats(-1.0, 1.0),
+    n=st.integers(3, 40),
+)
+def test_noiseless_line_property(slope, intercept, n):
+    t = TrendLine()
+    for i in range(n):
+        x = i * 7.0
+        t.add(x, intercept + slope * x)
+    assert t.slope == pytest.approx(slope, abs=1e-9)

@@ -1,0 +1,53 @@
+"""Per-protocol energy accounting."""
+
+import pytest
+
+from repro.energy.accounting import NTP_EXCHANGE_BYTES, EnergyAccountant
+
+
+def test_price_schedule_basic():
+    acct = EnergyAccountant()
+    report = acct.price_schedule("sntp", [0.0, 5.0, 10.0], duration=3600.0)
+    assert report.requests == 3
+    assert report.bytes_on_wire == 3 * NTP_EXCHANGE_BYTES
+    assert report.duration_h == pytest.approx(1.0)
+    assert report.breakdown.total_j > 0
+    assert report.joules_per_hour == pytest.approx(report.breakdown.total_j)
+
+
+def test_parallel_queries_share_wakeup():
+    acct = EnergyAccountant()
+    # MNTP warm-up: 3 exchanges per instant vs 3 separated instants.
+    together = acct.price_schedule(
+        "mntp", [0.0], duration=3600.0, requests_per_event=3
+    )
+    apart = acct.price_schedule("seq", [0.0, 60.0, 120.0], duration=3600.0)
+    assert together.requests == apart.requests == 3
+    assert together.breakdown.promotions == 1
+    assert apart.breakdown.promotions == 3
+    assert together.breakdown.total_j < apart.breakdown.total_j
+
+
+def test_wakeups_per_hour():
+    acct = EnergyAccountant()
+    report = acct.price_schedule(
+        "x", [i * 120.0 for i in range(30)], duration=3600.0
+    )
+    assert report.wakeups_per_hour == pytest.approx(30.0)
+
+
+def test_fewer_requests_less_energy():
+    acct = EnergyAccountant()
+    dense = acct.price_schedule(
+        "dense", [i * 5.0 for i in range(720)], duration=3600.0
+    )
+    sparse = acct.price_schedule(
+        "sparse", [i * 900.0 for i in range(4)], duration=3600.0
+    )
+    assert sparse.breakdown.total_j < dense.breakdown.total_j / 5
+
+
+def test_invalid_duration():
+    acct = EnergyAccountant()
+    with pytest.raises(ValueError):
+        acct.price_schedule("x", [0.0], duration=0.0)

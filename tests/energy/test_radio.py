@@ -1,0 +1,77 @@
+"""Radio energy model."""
+
+import pytest
+
+from repro.energy.radio import RadioEnergyModel, RadioEnergyParams
+
+
+P = RadioEnergyParams(
+    promotion_time=2.0, promotion_power=1.0,
+    active_power=1.0, tail_time=10.0, tail_power=0.5,
+    transfer_rate=1000.0, per_byte_energy=0.0,
+)
+
+
+def test_empty_schedule_costs_nothing():
+    b = RadioEnergyModel(P).evaluate([])
+    assert b.total_j == 0.0
+    assert b.promotions == 0
+    assert b.radio_on_seconds == 0.0
+
+
+def test_single_transfer_components():
+    b = RadioEnergyModel(P).evaluate([(100.0, 1000)])  # 1 s active
+    assert b.promotions == 1
+    assert b.promotion_j == pytest.approx(2.0)   # 2 s @ 1 W
+    assert b.active_j == pytest.approx(1.0)      # 1 s @ 1 W
+    assert b.tail_j == pytest.approx(5.0)        # 10 s @ 0.5 W
+    assert b.total_j == pytest.approx(8.0)
+    assert b.radio_on_seconds == pytest.approx(13.0)
+
+
+def test_close_transfers_share_tail_and_promotion():
+    # Second event 1 s after the first finishes: inside the tail.
+    together = RadioEnergyModel(P).evaluate([(0.0, 0), (1.0, 0)])
+    apart = RadioEnergyModel(P).evaluate([(0.0, 0), (1000.0, 0)])
+    assert together.promotions == 1
+    assert apart.promotions == 2
+    assert together.total_j < apart.total_j
+    # Far-apart events pay two full promotions and two full tails.
+    assert apart.total_j == pytest.approx(2 * (2.0 + 5.0))
+    # Close events pay one promotion, one truncated + one full tail.
+    assert together.total_j == pytest.approx(2.0 + 0.5 * 1.0 + 5.0)
+
+
+def test_tail_truncation_credits_only_overlap():
+    # Event at t=0, next at t=9 (tail would run to 10): tail paid 9 s
+    # + fresh full tail.
+    b = RadioEnergyModel(P).evaluate([(0.0, 0), (9.0, 0)])
+    assert b.tail_j == pytest.approx((9.0 + 10.0) * 0.5)
+
+
+def test_unsorted_events_handled():
+    a = RadioEnergyModel(P).evaluate([(50.0, 0), (0.0, 0)])
+    b = RadioEnergyModel(P).evaluate([(0.0, 0), (50.0, 0)])
+    assert a.total_j == pytest.approx(b.total_j)
+
+
+def test_per_byte_energy():
+    params = RadioEnergyParams(per_byte_energy=0.001)
+    b = RadioEnergyModel(params).evaluate([(0.0, 500)])
+    assert b.payload_j == pytest.approx(0.5)
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        RadioEnergyParams(promotion_time=-1.0)
+    with pytest.raises(ValueError):
+        RadioEnergyParams(transfer_rate=0.0)
+
+
+def test_periodic_small_transfers_beat_paper_intuition():
+    """Balasubramanian et al.'s headline: frequent small transfers cost
+    more than the same bytes in one shot, because of tails."""
+    model = RadioEnergyModel(P)
+    periodic = model.evaluate([(i * 60.0, 100) for i in range(60)])  # hourly drip
+    bulk = model.evaluate([(0.0, 6000)])
+    assert periodic.total_j > 5 * bulk.total_j

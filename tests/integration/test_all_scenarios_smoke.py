@@ -1,0 +1,38 @@
+"""Smoke-run every registered scenario (shortened durations).
+
+Catches registry breakage — a scenario whose factories raise, whose
+wiring dies mid-run, or which produces no data — without paying the
+full experiment durations.
+"""
+
+import pytest
+
+from repro.testbed.experiment import ExperimentRunner
+from repro.testbed.scenarios import SCENARIOS
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_smoke(name):
+    scenario = SCENARIOS[name]
+    runner = ExperimentRunner(
+        seed=7,
+        options=scenario.options_factory(),
+        duration=min(scenario.duration, 180.0),
+        sntp_cadence=min(scenario.cadence, 5.0),
+        run_sntp=scenario.run_sntp,
+        mntp_config=(
+            scenario.mntp_config_factory()
+            if scenario.mntp_config_factory is not None
+            else None
+        ),
+    )
+    result = runner.run()
+    if scenario.run_sntp:
+        assert result.sntp or result.sntp_failures  # traffic flowed
+    assert result.true_offsets
+    if scenario.mntp_config_factory is not None:
+        # MNTP at least attempted queries (reports may be empty if the
+        # channel was hostile for the whole 3 minutes).
+        sent = runner.sim.trace.select(component="mntp", kind="query_sent")
+        deferred = runner.sim.trace.select(component="mntp", kind="deferred")
+        assert sent or deferred

@@ -1,0 +1,140 @@
+"""Cross-cutting property-based tests against reference oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.protocol import _Compensation
+from repro.energy.radio import RadioEnergyModel, RadioEnergyParams
+from repro.ntp.select import SelectInterval, intersection
+
+
+# -- intersection vs brute-force oracle ---------------------------------------
+
+
+def _brute_force_truechimers(candidates):
+    """Reference implementation: maximise the number of intervals
+    containing a common point by checking all interval endpoints."""
+    n = len(candidates)
+    best_count = 0
+    best_range = (0.0, 0.0)
+    points = sorted({c.low for c in candidates} | {c.high for c in candidates})
+    for point in points:
+        count = sum(1 for c in candidates if c.low <= point <= c.high)
+        if count > best_count:
+            best_count = count
+    if best_count <= n // 2:
+        return []
+    # Survivors: intervals containing some point achieving best_count.
+    for point in points:
+        members = [c for c in candidates if c.low <= point <= c.high]
+        if len(members) == best_count:
+            return members
+    return []
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(
+        st.tuples(st.floats(-1.0, 1.0), st.floats(0.01, 0.5)),
+        min_size=1,
+        max_size=7,
+    )
+)
+def test_intersection_majority_agrees_with_oracle(pairs):
+    candidates = [
+        SelectInterval(source=f"s{i}", midpoint=m, radius=r)
+        for i, (m, r) in enumerate(pairs)
+    ]
+    survivors, (lo, hi) = intersection(candidates)
+    oracle = _brute_force_truechimers(candidates)
+    # Either both find a majority or neither does.
+    assert bool(survivors) == bool(oracle)
+    if survivors:
+        # The algorithm's agreed range intersects every survivor and
+        # is contained in the oracle's achievable region.
+        assert lo <= hi
+        names = {s.source for s in survivors}
+        # The oracle's members all intersect the returned range too.
+        for c in oracle:
+            assert c.low <= hi and c.high >= lo
+
+
+# -- the MNTP compensation model ------------------------------------------------
+
+
+def test_compensation_steps_accumulate():
+    comp = _Compensation(0.0)
+    comp.add_step(1.0, 0.5)
+    comp.add_step(2.0, -0.2)
+    assert comp.value(3.0) == pytest.approx(0.3)
+
+
+def test_compensation_rate_integrates():
+    comp = _Compensation(0.0)
+    comp.add_rate(10.0, 1e-3)
+    assert comp.value(20.0) == pytest.approx(0.01)
+    comp.add_rate(20.0, 1e-3)  # now 2e-3/s
+    assert comp.value(25.0) == pytest.approx(0.01 + 5 * 2e-3)
+
+
+def test_compensation_reset():
+    comp = _Compensation(0.0)
+    comp.add_step(1.0, 1.0)
+    comp.add_rate(1.0, 1.0)
+    comp.reset(2.0)
+    assert comp.value(10.0) == 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(-0.5, 0.5)),
+        max_size=20,
+    )
+)
+def test_compensation_matches_naive_sum(steps):
+    """Steps queried at the end equal a plain sum regardless of order
+    of application times (applied in sorted order)."""
+    comp = _Compensation(0.0)
+    for t, delta in sorted(steps):
+        comp.add_step(t, delta)
+    assert comp.value(200.0) == pytest.approx(sum(d for _, d in steps), abs=1e-9)
+
+
+# -- energy model properties ------------------------------------------------------
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.floats(0.0, 10_000.0), min_size=1, max_size=40),
+)
+def test_energy_monotone_in_events(times):
+    """Adding an event never decreases total energy."""
+    model = RadioEnergyModel(RadioEnergyParams())
+    events = [(t, 100) for t in times]
+    full = model.evaluate(events).total_j
+    partial = model.evaluate(events[:-1]).total_j
+    assert full >= partial - 1e-9
+
+
+@settings(max_examples=100)
+@given(st.lists(st.floats(0.0, 10_000.0), min_size=1, max_size=40))
+def test_energy_bounded_by_isolated_events(times):
+    """Tail sharing means the schedule never costs more than paying
+    each event in isolation, and at least one isolated event."""
+    model = RadioEnergyModel(RadioEnergyParams())
+    events = [(t, 100) for t in times]
+    total = model.evaluate(events).total_j
+    single = model.evaluate([(0.0, 100)]).total_j
+    assert total <= len(events) * single + 1e-6
+    assert total >= single - 1e-9
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=20))
+def test_energy_translation_invariant(times):
+    """Shifting the whole schedule in time changes nothing."""
+    model = RadioEnergyModel(RadioEnergyParams())
+    a = model.evaluate([(t, 76) for t in times]).total_j
+    b = model.evaluate([(t + 5000.0, 76) for t in times]).total_j
+    assert a == pytest.approx(b, rel=1e-9)

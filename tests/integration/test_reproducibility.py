@@ -1,0 +1,54 @@
+"""Determinism: identical seeds produce identical experiments."""
+
+from repro.cellular import CellularExperiment, CellularOptions
+from repro.core.config import MntpConfig
+from repro.logs.analysis import LogStudy
+from repro.logs.generator import GeneratorOptions
+from repro.logs.servers import server_by_id
+from repro.testbed.experiment import ExperimentRunner
+from repro.testbed.nodes import TestbedOptions
+
+
+def _mntp_run(seed):
+    return ExperimentRunner(
+        seed=seed,
+        options=TestbedOptions(wireless=True, ntp_correction=True),
+        duration=600.0,
+        mntp_config=MntpConfig.baseline_headtohead(),
+    ).run()
+
+
+def test_testbed_run_reproducible():
+    a = _mntp_run(3)
+    b = _mntp_run(3)
+    assert [p.offset for p in a.sntp] == [p.offset for p in b.sntp]
+    assert [r.offset for r in a.mntp_reports] == [r.offset for r in b.mntp_reports]
+    assert [r.accepted for r in a.mntp_reports] == [r.accepted for r in b.mntp_reports]
+
+
+def test_testbed_run_seed_sensitive():
+    a = _mntp_run(3)
+    c = _mntp_run(4)
+    assert [p.offset for p in a.sntp] != [p.offset for p in c.sntp]
+
+
+def test_log_study_reproducible():
+    opts = GeneratorOptions(scale=1e-4, min_clients=20, max_clients=40,
+                            max_requests_per_client=10)
+    servers = [server_by_id("JW1")]
+
+    def run(seed):
+        study = LogStudy(seed=seed, options=opts, servers=servers)
+        return study.table1()[0]
+
+    a, b = run(5), run(5)
+    assert a.generated_clients == b.generated_clients
+    assert a.generated_measurements == b.generated_measurements
+    assert a.sntp_clients == b.sntp_clients
+
+
+def test_cellular_reproducible():
+    opts = CellularOptions(duration=600.0, cadence=30.0)
+    a = CellularExperiment(seed=2, options=opts).run()
+    b = CellularExperiment(seed=2, options=opts).run()
+    assert [p.offset for p in a.offsets] == [p.offset for p in b.offsets]

@@ -1,0 +1,107 @@
+"""End-to-end log study aggregation."""
+
+import pytest
+
+from repro.logs.analysis import LogStudy
+from repro.logs.generator import GeneratorOptions
+from repro.logs.servers import server_by_id
+
+
+OPTS = GeneratorOptions(scale=1e-4, min_clients=60, max_clients=150,
+                        max_requests_per_client=25)
+
+
+@pytest.fixture(scope="module")
+def study():
+    s = LogStudy(
+        seed=11,
+        options=OPTS,
+        servers=[server_by_id(x) for x in ["AG1", "SU1", "CI1"]],
+    )
+    s.run()
+    return s
+
+
+def test_table1_rows(study):
+    rows = study.table1()
+    assert [r.server_id for r in rows] == ["AG1", "SU1", "CI1"]
+    ag1 = rows[0]
+    assert ag1.published_clients == 639_704
+    assert ag1.generated_clients >= 60
+    assert ag1.generated_measurements > ag1.generated_clients
+    assert 0 < ag1.synchronized_clients <= ag1.generated_clients
+
+
+def test_category_latency_ordering(study):
+    medians = study.category_medians("AG1")
+    assert medians["cloud"] < medians["isp"] < medians["broadband"] < medians["mobile"]
+
+
+def test_category_medians_near_paper(study):
+    medians = study.category_medians("AG1")
+    assert medians["cloud"] == pytest.approx(0.040, rel=0.6)
+    assert medians["mobile"] == pytest.approx(0.550, rel=0.6)
+
+
+def test_figure1_ordered_by_sp(study):
+    latencies = study.figure1("AG1")
+    sp_ids = [pl.provider.sp_id for pl in latencies]
+    assert sp_ids == sorted(sp_ids)
+    for pl in latencies:
+        assert pl.client_count == len(pl.min_owds)
+        assert pl.median >= 0
+
+
+def test_mobile_iqr_wider_than_cloud(study):
+    latencies = {pl.category: pl for pl in study.figure1("AG1")}
+    # Pool IQRs per category.
+    import numpy as np
+
+    pooled = {}
+    for pl in study.figure1("AG1"):
+        pooled.setdefault(pl.category, []).extend(pl.min_owds)
+    if "mobile" in pooled and "cloud" in pooled:
+        mobile_iqr = np.percentile(pooled["mobile"], 75) - np.percentile(
+            pooled["mobile"], 25
+        )
+        cloud_iqr = np.percentile(pooled["cloud"], 75) - np.percentile(
+            pooled["cloud"], 25
+        )
+        assert mobile_iqr > cloud_iqr
+
+
+def test_figure2_per_server(study):
+    shares = study.figure2_per_server()
+    assert set(shares) == {"AG1", "SU1", "CI1"}
+    # ISP-specific server CI1 is NTP-dominated; AG1 is SNTP-dominated.
+    ag1_sntp, ag1_ntp = shares["AG1"]
+    ci1_sntp, ci1_ntp = shares["CI1"]
+    assert ag1_sntp > ag1_ntp
+    assert ci1_ntp > ci1_sntp
+
+
+def test_mobile_sntp_share_over_90(study):
+    share = study.mobile_sntp_share("AG1")
+    assert share > 0.90
+
+
+def test_figure2_per_provider(study):
+    per_provider = study.figure2_per_provider("AG1")
+    assert per_provider
+    for name, (sntp, ntp) in per_provider.items():
+        assert sntp + ntp > 0
+
+
+def test_run_idempotent(study):
+    before = study.table1()
+    study.run()
+    after = study.table1()
+    assert [r.generated_clients for r in before] == [
+        r.generated_clients for r in after
+    ]
+
+
+def test_observations_accessor(study):
+    raw = study.observations("AG1", filtered=False)
+    filtered = study.observations("AG1", filtered=True)
+    assert len(filtered) <= len(raw)

@@ -1,0 +1,73 @@
+"""Figure-dataset builders."""
+
+import pytest
+
+from repro.logs.analysis import LogStudy
+from repro.logs.figures import (
+    figure1_boxplots,
+    figure1_cdfs,
+    figure2_provider_bars,
+    figure2_server_bars,
+)
+from repro.logs.generator import GeneratorOptions
+from repro.logs.servers import server_by_id
+
+
+@pytest.fixture(scope="module")
+def study():
+    s = LogStudy(
+        seed=17,
+        options=GeneratorOptions(scale=2e-4, min_clients=150, max_clients=300),
+        servers=[server_by_id(x) for x in ("AG1", "CI1")],
+    )
+    s.run()
+    return s
+
+
+def test_boxplots_are_internally_consistent(study):
+    boxes = figure1_boxplots(study, "AG1")
+    assert boxes
+    for box in boxes:
+        assert box.minimum <= box.whisker_low <= box.q1
+        assert box.q1 <= box.median <= box.q3
+        assert box.q3 <= box.whisker_high <= box.maximum
+        assert box.count > 0
+        assert box.label.startswith("SP ")
+
+
+def test_boxplots_follow_sp_order(study):
+    boxes = figure1_boxplots(study, "AG1")
+    ranks = [int(b.label.split()[1]) for b in boxes]
+    assert ranks == sorted(ranks)
+
+
+def test_cdfs_monotone_and_normalised(study):
+    for cdf in figure1_cdfs(study, "AG1"):
+        assert cdf.values == sorted(cdf.values)
+        assert cdf.probabilities[0] > 0
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+        assert all(
+            b >= a for a, b in zip(cdf.probabilities, cdf.probabilities[1:])
+        )
+        assert len(cdf.values) == len(cdf.probabilities)
+
+
+def test_server_bars_sum_to_one(study):
+    bars = figure2_server_bars(study)
+    assert {b.label for b in bars} == {"AG1", "CI1"}
+    for bar in bars:
+        assert bar.sntp_fraction + bar.ntp_fraction == pytest.approx(1.0)
+        assert bar.total_clients > 0
+
+
+def test_provider_bars(study):
+    bars = figure2_provider_bars(study, "AG1")
+    assert bars
+    for bar in bars:
+        assert 0.0 <= bar.sntp_fraction <= 1.0
+    # Mobile providers are SNTP-dominated in their bars.
+    mobile = [b for b in bars if "Mobile" in b.label or "Cellular" in b.label
+              or "Wireless" in b.label]
+    assert mobile
+    for bar in mobile:
+        assert bar.sntp_fraction > 0.8

@@ -1,0 +1,98 @@
+"""Synchronized-client heuristic and classifiers."""
+
+from repro.logs.asndb import AsnDatabase
+from repro.logs.classify import (
+    classify_protocol_share,
+    classify_provider_kind,
+    group_by_provider,
+    is_wireless,
+)
+from repro.logs.heuristic import HeuristicParams, filter_synchronized_clients
+from repro.logs.parser import ClientObservation
+from repro.logs.providers import provider_by_sp
+
+
+def _obs(ip, owds, sntp=1, ntp=0):
+    return ClientObservation(
+        ip=ip, owd_estimates=list(owds), sntp_requests=sntp, ntp_requests=ntp
+    )
+
+
+def test_synchronized_client_survives():
+    obs = {"a": _obs("a", [0.05, 0.06, 0.055])}
+    out = filter_synchronized_clients(obs)
+    assert "a" in out
+    assert out["a"].owd_estimates == [0.05, 0.06, 0.055]
+
+
+def test_negative_owds_rejected():
+    obs = {"a": _obs("a", [-5.0, -4.9, -5.1])}
+    assert filter_synchronized_clients(obs) == {}
+
+
+def test_absurdly_large_owds_rejected():
+    obs = {"a": _obs("a", [250.0, 251.0])}
+    assert filter_synchronized_clients(obs) == {}
+
+
+def test_mixed_samples_filtered_not_dropped():
+    # 90% plausible: client kept, bad sample removed.
+    owds = [0.05] * 9 + [-3.0]
+    out = filter_synchronized_clients({"a": _obs("a", owds)})
+    assert "a" in out
+    assert len(out["a"].owd_estimates) == 9
+
+
+def test_mostly_bad_client_dropped():
+    owds = [0.05] * 2 + [-3.0] * 8
+    assert filter_synchronized_clients({"a": _obs("a", owds)}) == {}
+
+
+def test_min_owd_bound():
+    params = HeuristicParams(max_min_owd=1.0)
+    out = filter_synchronized_clients({"a": _obs("a", [1.5, 1.6])}, params)
+    assert out == {}
+
+
+def test_empty_observation_skipped():
+    assert filter_synchronized_clients({"a": _obs("a", [])}) == {}
+
+
+def test_keyword_classification():
+    db = AsnDatabase()
+    mobile = db.lookup(db.client_ip(provider_by_sp(22), 0))
+    cloud = db.lookup(db.client_ip(provider_by_sp(1), 0))
+    broadband = db.lookup(db.client_ip(provider_by_sp(10), 0))
+    isp = db.lookup(db.client_ip(provider_by_sp(4), 0))
+    assert classify_provider_kind(mobile) == "mobile"
+    assert classify_provider_kind(cloud) == "cloud"
+    assert classify_provider_kind(broadband) == "broadband"
+    assert classify_provider_kind(isp) == "isp"
+    assert is_wireless(mobile)
+    assert not is_wireless(cloud)
+
+
+def test_protocol_share_majority_vote():
+    observations = [
+        _obs("a", [0.1], sntp=5, ntp=0),
+        _obs("b", [0.1], sntp=0, ntp=5),
+        _obs("c", [0.1], sntp=3, ntp=1),
+    ]
+    sntp, ntp = classify_protocol_share(observations)
+    assert (sntp, ntp) == (2, 1)
+
+
+def test_group_by_provider():
+    db = AsnDatabase()
+    p22 = provider_by_sp(22)
+    p1 = provider_by_sp(1)
+    observations = {
+        db.client_ip(p22, 0): _obs(db.client_ip(p22, 0), [0.5]),
+        db.client_ip(p22, 1): _obs(db.client_ip(p22, 1), [0.6]),
+        db.client_ip(p1, 0): _obs(db.client_ip(p1, 0), [0.04]),
+        "8.8.8.8": _obs("8.8.8.8", [0.01]),  # unmapped -> dropped
+    }
+    grouped = group_by_provider(observations, db)
+    assert len(grouped[p22.name]) == 2
+    assert len(grouped[p1.name]) == 1
+    assert len(grouped) == 2

@@ -1,0 +1,80 @@
+"""Provider table and synthetic ASN database."""
+
+import pytest
+
+from repro.logs.asndb import AsnDatabase
+from repro.logs.providers import PROVIDERS, provider_by_sp, top_providers
+
+
+def test_25_providers():
+    assert len(PROVIDERS) == 25
+    assert {p.sp_id for p in PROVIDERS} == set(range(1, 26))
+
+
+def test_category_ranges_match_figure1():
+    for p in PROVIDERS:
+        if p.sp_id <= 3:
+            assert p.category == "cloud"
+        elif p.sp_id <= 9:
+            assert p.category == "isp"
+        elif p.sp_id <= 21:
+            assert p.category == "broadband"
+        else:
+            assert p.category == "mobile"
+
+
+def test_mobile_sntp_share_over_95_percent():
+    for p in PROVIDERS:
+        if p.category == "mobile":
+            assert p.sntp_share >= 0.95
+
+
+def test_unique_prefixes_and_asns():
+    assert len({p.prefix16 for p in PROVIDERS}) == 25
+    assert len({p.asn for p in PROVIDERS}) == 25
+
+
+def test_top_providers_ranked_by_weight():
+    top = top_providers(5)
+    weights = [p.client_weight for p in top]
+    assert weights == sorted(weights, reverse=True)
+
+
+def test_provider_by_sp():
+    assert provider_by_sp(22).category == "mobile"
+    with pytest.raises(KeyError):
+        provider_by_sp(99)
+
+
+def test_asndb_ipv4_roundtrip():
+    db = AsnDatabase()
+    provider = provider_by_sp(22)
+    ip = db.client_ip(provider, 300)
+    record = db.lookup(ip)
+    assert record is not None
+    assert record.provider.sp_id == 22
+    assert record.asn == provider.asn
+    assert provider.domain in record.hostname
+
+
+def test_asndb_ipv6_roundtrip():
+    db = AsnDatabase()
+    provider = provider_by_sp(3)
+    ip = db.client_ip(provider, 7, ipv6=True)
+    record = db.lookup(ip)
+    assert record is not None
+    assert record.provider.sp_id == 3
+
+
+def test_asndb_unknown_addresses():
+    db = AsnDatabase()
+    assert db.lookup("8.8.8.8") is None
+    assert db.lookup("10.200.0.1") is None  # prefix outside 1..25
+    assert db.lookup("2001:4860::1") is None
+
+
+def test_distinct_indexes_distinct_ips():
+    db = AsnDatabase()
+    provider = provider_by_sp(1)
+    ips = {db.client_ip(provider, i) for i in range(1000)}
+    assert len(ips) == 1000

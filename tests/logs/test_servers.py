@@ -1,0 +1,53 @@
+"""Table-1 server descriptors."""
+
+import pytest
+
+from repro.logs.servers import TABLE1_SERVERS, server_by_id
+
+
+def test_nineteen_servers():
+    assert len(TABLE1_SERVERS) == 19
+
+
+def test_published_totals():
+    assert sum(s.total_measurements for s in TABLE1_SERVERS) == 209_447_922
+
+
+def test_strata_composition():
+    stratum1 = [s for s in TABLE1_SERVERS if s.stratum == 1]
+    stratum2 = [s for s in TABLE1_SERVERS if s.stratum == 2]
+    assert len(stratum1) == 5
+    assert len(stratum2) == 14
+
+
+def test_isp_specific_servers():
+    isp = {s.server_id for s in TABLE1_SERVERS if s.isp_specific}
+    assert isp == {"CI1", "CI2", "CI3", "CI4", "EN1", "EN2"}
+
+
+def test_known_rows():
+    ag1 = server_by_id("AG1")
+    assert ag1.unique_clients == 639_704
+    assert ag1.total_measurements == 9_988_576
+    assert ag1.stratum == 2
+    assert ag1.ip_versions == ("v4",)
+
+    su1 = server_by_id("SU1")
+    assert su1.stratum == 1
+    assert su1.ip_versions == ("v4", "v6")
+
+
+def test_server_ips_unique():
+    ips = {s.server_ip for s in TABLE1_SERVERS}
+    assert len(ips) == 19
+
+
+def test_mean_requests_per_client():
+    ci1 = server_by_id("CI1")
+    # 1.48M measurements over 606 clients: heavy NTP pollers.
+    assert ci1.mean_requests_per_client > 1000
+
+
+def test_unknown_server():
+    with pytest.raises(KeyError):
+        server_by_id("XX9")

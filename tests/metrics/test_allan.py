@@ -1,0 +1,85 @@
+"""Allan deviation correctness."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.allan import allan_deviation, allan_deviation_curve
+
+
+def test_perfect_clock_zero_adev():
+    phase = [0.0] * 100
+    assert allan_deviation(phase, 1.0, 1) == 0.0
+
+
+def test_constant_frequency_offset_zero_adev():
+    # A pure frequency error is a linear phase ramp: the second
+    # difference vanishes, so ADEV is 0 (frequency offsets are not
+    # instability).
+    phase = [1e-5 * t for t in range(200)]
+    assert allan_deviation(phase, 1.0, 4) == pytest.approx(0.0, abs=1e-15)
+
+
+def test_white_pm_known_value():
+    """For white phase noise of variance s^2, AVAR(tau) = 3 s^2 / tau^2
+    (expected value); check within sampling tolerance."""
+    rng = np.random.default_rng(0)
+    sigma = 1e-6
+    phase = rng.normal(0.0, sigma, size=200_000)
+    for m in (1, 4):
+        tau = float(m)
+        expected = np.sqrt(3.0 * sigma**2 / tau**2)
+        measured = allan_deviation(phase, 1.0, m)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+
+def test_white_fm_slope():
+    """White frequency noise gives ADEV ~ tau^-1/2: doubling tau scales
+    ADEV by 1/sqrt(2)."""
+    rng = np.random.default_rng(1)
+    freq = rng.normal(0.0, 1e-7, size=100_000)
+    phase = np.cumsum(freq)  # tau0 = 1
+    a1 = allan_deviation(phase, 1.0, 8)
+    a2 = allan_deviation(phase, 1.0, 16)
+    assert a2 / a1 == pytest.approx(1 / np.sqrt(2), rel=0.1)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        allan_deviation([0.0] * 10, 0.0, 1)
+    with pytest.raises(ValueError):
+        allan_deviation([0.0] * 10, 1.0, 0)
+    with pytest.raises(ValueError):
+        allan_deviation([0.0] * 4, 1.0, 2)
+
+
+def test_curve_octave_spacing():
+    phase = list(np.random.default_rng(2).normal(0, 1e-6, size=1000))
+    curve = allan_deviation_curve(phase, 2.0)
+    taus = [tau for tau, _ in curve]
+    assert taus[0] == 2.0
+    for a, b in zip(taus, taus[1:]):
+        assert b == 2 * a
+    assert len(curve) <= 20
+
+
+def test_simclock_oscillator_stability_ordering():
+    """A phone-grade oscillator is less stable than a server-grade one
+    at long averaging times (wander dominates there)."""
+    from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
+    from repro.clock.simclock import SimClock
+
+    def phase_series(grade, seed):
+        now = [0.0]
+        rng = np.random.default_rng(seed)
+        clock = SimClock(Oscillator(OSCILLATOR_GRADES[grade], rng),
+                         now_fn=lambda: now[0])
+        series = []
+        for t in range(0, 20_000, 10):
+            now[0] = float(t)
+            series.append(clock.true_offset())
+        return series
+
+    tau0 = 10.0
+    phone = allan_deviation(phase_series("phone", 3), tau0, 64)
+    server = allan_deviation(phase_series("server", 3), tau0, 64)
+    assert phone > server

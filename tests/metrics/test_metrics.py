@@ -1,0 +1,74 @@
+"""Statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.distributions import cdf_at, empirical_cdf, iqr, quantile
+from repro.metrics.stats import rmse, robust_mean_std, summary
+
+
+def test_summary_basic():
+    s = summary([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.median == pytest.approx(2.5)
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+
+
+def test_summary_empty():
+    s = summary([])
+    assert s.count == 0
+    assert s.mean == 0.0
+
+
+def test_rmse_known():
+    assert rmse([3.0, -4.0]) == pytest.approx(math.sqrt(12.5))
+    assert rmse([]) == 0.0
+    assert rmse([5.0, 5.0], target=5.0) == 0.0
+
+
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+def test_rmse_nonnegative_property(values):
+    assert rmse(values) >= 0.0
+
+
+def test_robust_mean_std_resists_outlier():
+    clean = [1.0, 1.1, 0.9, 1.05, 0.95]
+    med_clean, scale_clean = robust_mean_std(clean)
+    med_dirty, scale_dirty = robust_mean_std(clean + [1000.0])
+    assert med_dirty == pytest.approx(med_clean, abs=0.2)
+    assert scale_dirty < 10.0
+
+
+def test_robust_empty():
+    assert robust_mean_std([]) == (0.0, 0.0)
+
+
+def test_empirical_cdf():
+    xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+    assert list(xs) == [1.0, 2.0, 3.0]
+    assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_empirical_cdf_empty():
+    xs, ps = empirical_cdf([])
+    assert len(xs) == 0
+
+
+def test_quantile_and_iqr():
+    values = list(range(101))
+    assert quantile(values, 0.5) == pytest.approx(50.0)
+    assert iqr(values) == pytest.approx(50.0)
+    assert quantile([], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        quantile(values, 1.5)
+
+
+def test_cdf_at():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert cdf_at(values, [0.5, 2.0, 10.0]) == pytest.approx([0.0, 0.5, 1.0])
+    assert cdf_at([], [1.0]) == [0.0]

@@ -1,0 +1,72 @@
+"""OffsetSeries container."""
+
+import pytest
+
+from repro.metrics.timeseries import OffsetSeries
+
+
+def test_construction_and_len():
+    s = OffsetSeries([0.0, 1.0], [0.1, 0.2])
+    assert len(s) == 2
+    assert s.times == [0.0, 1.0]
+    assert s.offsets == [0.1, 0.2]
+
+
+def test_mismatched_lengths():
+    with pytest.raises(ValueError):
+        OffsetSeries([0.0], [1.0, 2.0])
+
+
+def test_non_monotone_rejected():
+    with pytest.raises(ValueError):
+        OffsetSeries([1.0, 0.5], [0.0, 0.0])
+
+
+def test_append():
+    s = OffsetSeries()
+    s.append(1.0, 0.5)
+    s.append(2.0, -0.5)
+    with pytest.raises(ValueError):
+        s.append(1.5, 0.0)
+    assert len(s) == 2
+
+
+def test_from_points():
+    class P:
+        def __init__(self, t, o):
+            self.time = t
+            self.offset = o
+
+    s = OffsetSeries.from_points([P(0.0, 1.0), P(5.0, 2.0)])
+    assert s.times == [0.0, 5.0]
+
+
+def test_abs_offsets():
+    s = OffsetSeries([0.0, 1.0], [-0.3, 0.2])
+    assert list(s.abs_offsets()) == pytest.approx([0.3, 0.2])
+
+
+def test_window():
+    s = OffsetSeries([0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])
+    w = s.window(1.0, 3.0)
+    assert w.times == [1.0, 2.0]
+    assert w.offsets == [2.0, 3.0]
+
+
+def test_resample_max_abs_preserves_spikes():
+    times = [float(i) for i in range(100)]
+    offsets = [0.001] * 100
+    offsets[57] = -5.0  # spike
+    s = OffsetSeries(times, offsets)
+    bins, values = s.resample_max_abs(bin_width=10.0)
+    assert max(values) == 5.0
+    assert len(bins) == len(values)
+
+
+def test_resample_empty():
+    assert OffsetSeries().resample_max_abs(1.0) == ([], [])
+
+
+def test_resample_bad_width():
+    with pytest.raises(ValueError):
+        OffsetSeries([0.0], [0.0]).resample_max_abs(0.0)

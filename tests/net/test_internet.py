@@ -1,0 +1,55 @@
+"""InternetPath category calibration."""
+
+import numpy as np
+import pytest
+
+from repro.net.internet import PROVIDER_CATEGORY_PROFILES, InternetPath
+
+
+def test_four_categories_defined():
+    assert set(PROVIDER_CATEGORY_PROFILES) == {"cloud", "isp", "broadband", "mobile"}
+
+
+def test_category_median_ordering():
+    p = PROVIDER_CATEGORY_PROFILES
+    assert (
+        p["cloud"].median_min_owd
+        < p["isp"].median_min_owd
+        < p["broadband"].median_min_owd
+        < p["mobile"].median_min_owd
+    )
+
+
+@pytest.mark.parametrize("category", ["cloud", "isp", "broadband", "mobile"])
+def test_sampled_median_matches_profile(category, rng):
+    profile = PROVIDER_CATEGORY_PROFILES[category]
+    path = InternetPath(profile, rng)
+    draws = [path.sample_client_min_owd() for _ in range(3000)]
+    assert float(np.median(draws)) == pytest.approx(profile.median_min_owd, rel=0.1)
+
+
+def test_mobile_has_widest_spread(rng):
+    def spread(category):
+        path = InternetPath(PROVIDER_CATEGORY_PROFILES[category], np.random.default_rng(1))
+        draws = np.array([path.sample_client_min_owd() for _ in range(2000)])
+        return np.percentile(draws, 75) - np.percentile(draws, 25)
+
+    assert spread("mobile") > spread("broadband") > spread("cloud")
+
+
+def test_make_pair_asymmetric_but_bounded(rng):
+    path = InternetPath(PROVIDER_CATEGORY_PROFILES["isp"], rng)
+    fwd, rev = path.make_pair()
+    total = fwd.base_delay + rev.base_delay
+    # Asymmetry factors sum to 2, so total is twice the floor.
+    assert fwd.base_delay != rev.base_delay
+    assert total == pytest.approx(2 * (total / 2))
+    ratio = fwd.base_delay / rev.base_delay
+    assert 0.7 < ratio < 1.4
+
+
+def test_make_direction_uses_profile_loss(rng):
+    profile = PROVIDER_CATEGORY_PROFILES["mobile"]
+    path = InternetPath(profile, rng)
+    direction = path.make_direction(0.5)
+    assert direction.loss_rate == profile.loss_rate

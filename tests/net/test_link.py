@@ -1,0 +1,96 @@
+"""Link delivery, loss, and effect hooks."""
+
+import numpy as np
+
+from repro.net.link import Link, LinkEffect
+from repro.net.message import Datagram
+from repro.net.path import PathModel
+
+
+def _path(rng, **kwargs):
+    defaults = dict(base_delay=0.010, queue_mean=0.0, loss_rate=0.0)
+    defaults.update(kwargs)
+    return PathModel(rng, **defaults)
+
+
+def test_delivery_with_delay(sim, rng):
+    received = []
+    link = Link(sim, _path(rng), receive=received.append)
+    link.send(Datagram(payload=b"x", src="a", dst="b"))
+    sim.run_until(1.0)
+    assert len(received) == 1
+    assert received[0].delivered_at == 0.010
+    assert received[0].owd() == 0.010
+
+
+def test_loss_drops_datagram(sim, rng):
+    received = []
+    link = Link(sim, _path(rng, loss_rate=0.9999999), receive=received.append)
+    d = Datagram(payload=b"x", src="a", dst="b")
+    link.send(d)
+    sim.run_until(1.0)
+    assert received == []
+    assert d.dropped
+    assert link.lost == 1
+
+
+def test_effect_hook_adds_delay(sim, rng):
+    received = []
+    link = Link(
+        sim,
+        _path(rng),
+        receive=received.append,
+        effect_hook=lambda: LinkEffect(extra_delay=0.5),
+    )
+    link.send(Datagram(payload=b"x", src="a", dst="b"))
+    sim.run_until(1.0)
+    assert received[0].owd() == 0.510
+
+
+def test_effect_hook_can_drop(sim, rng):
+    received = []
+    link = Link(
+        sim,
+        _path(rng),
+        receive=received.append,
+        effect_hook=lambda: LinkEffect(lost=True),
+    )
+    link.send(Datagram(payload=b"x", src="a", dst="b"))
+    sim.run_until(1.0)
+    assert received == []
+
+
+def test_counters(sim, rng):
+    link = Link(sim, _path(rng), receive=lambda d: None)
+    for _ in range(5):
+        link.send(Datagram(payload=b"x", src="a", dst="b"))
+    sim.run_until(1.0)
+    assert link.sent == 5
+    assert link.delivered == 5
+    assert link.lost == 0
+
+
+def test_drop_emits_trace(sim, rng):
+    link = Link(
+        sim,
+        _path(rng),
+        receive=lambda d: None,
+        effect_hook=lambda: LinkEffect(lost=True),
+        name="wifi",
+    )
+    link.send(Datagram(payload=b"x", src="a", dst="b"))
+    sim.run_until(1.0)
+    drops = sim.trace.select(component="wifi", kind="drop")
+    assert len(drops) == 1
+
+
+def test_datagram_ids_unique():
+    a = Datagram(payload=b"x", src="a", dst="b")
+    b = Datagram(payload=b"y", src="a", dst="b")
+    assert a.ident != b.ident
+
+
+def test_datagram_owd_none_in_flight():
+    d = Datagram(payload=b"x", src="a", dst="b")
+    assert d.owd() is None
+    assert d.size == 1

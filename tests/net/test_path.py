@@ -1,0 +1,63 @@
+"""PathModel delay/loss distributions."""
+
+import numpy as np
+import pytest
+
+from repro.net.path import PathModel
+
+
+def test_base_delay_is_floor(rng):
+    path = PathModel(rng, base_delay=0.020, queue_mean=0.005)
+    samples = [path.sample() for _ in range(500)]
+    assert all(not s.lost for s in samples)
+    assert min(s.delay for s in samples) >= 0.020
+
+
+def test_min_delay_property(rng):
+    path = PathModel(rng, base_delay=0.033)
+    assert path.min_delay() == 0.033
+
+
+def test_mean_close_to_base_plus_queue(rng):
+    path = PathModel(rng, base_delay=0.020, queue_mean=0.010)
+    mean = np.mean([path.sample().delay for _ in range(5000)])
+    assert mean == pytest.approx(0.030, rel=0.1)
+
+
+def test_loss_rate_respected(rng):
+    path = PathModel(rng, loss_rate=0.3)
+    losses = sum(path.sample().lost for _ in range(5000))
+    assert losses / 5000 == pytest.approx(0.3, abs=0.03)
+
+
+def test_zero_loss(rng):
+    path = PathModel(rng, loss_rate=0.0)
+    assert not any(path.sample().lost for _ in range(1000))
+
+
+def test_spikes_add_heavy_tail(rng):
+    quiet = PathModel(np.random.default_rng(1), base_delay=0.02, spike_rate=0.0)
+    spiky = PathModel(
+        np.random.default_rng(1), base_delay=0.02, spike_rate=0.3, spike_scale=0.5
+    )
+    quiet_max = max(quiet.sample().delay for _ in range(2000))
+    spiky_max = max(spiky.sample().delay for _ in range(2000))
+    assert spiky_max > quiet_max * 3
+
+
+def test_invalid_params(rng):
+    with pytest.raises(ValueError):
+        PathModel(rng, base_delay=-1.0)
+    with pytest.raises(ValueError):
+        PathModel(rng, loss_rate=1.5)
+    with pytest.raises(ValueError):
+        PathModel(rng, spike_rate=-0.1)
+    with pytest.raises(ValueError):
+        PathModel(rng, queue_shape=0.0)
+
+
+def test_lost_sample_has_inf_delay(rng):
+    path = PathModel(rng, loss_rate=0.999)
+    sample = path.sample()
+    if sample.lost:
+        assert sample.delay == float("inf")

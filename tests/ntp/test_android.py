@@ -1,0 +1,77 @@
+"""Android SNTP daemon policy (§2 of the paper)."""
+
+import pytest
+
+from repro.ntp.server import ServerConfig, ServerPersona
+from repro.ntp.sntp_client import AndroidSntpDaemon, AndroidSntpPolicy
+from repro.simcore import Simulator
+from tests.ntp.helpers import MiniNet, perfect_clock
+
+
+def test_no_update_below_5000ms_threshold():
+    sim = Simulator(seed=1)
+    net = MiniNet(sim, [ServerConfig(name="s1", processing_delay=1e-6)])
+    net.client_clock.step(-2.0)  # 2 s slow: under the 5 s threshold
+    daemon = AndroidSntpDaemon(sim, net.client, "s1")
+    daemon.start()
+    sim.run_until(60.0)
+    assert daemon.updates_applied == 0
+    assert net.client_clock.true_offset() == pytest.approx(-2.0, abs=1e-3)
+
+
+def test_update_above_threshold_steps_clock():
+    sim = Simulator(seed=1)
+    net = MiniNet(sim, [ServerConfig(name="s1", processing_delay=1e-6)])
+    net.client_clock.step(-10.0)  # way off
+    daemon = AndroidSntpDaemon(sim, net.client, "s1")
+    daemon.start()
+    sim.run_until(60.0)
+    assert daemon.updates_applied == 1
+    assert abs(net.client_clock.true_offset()) < 0.010
+
+
+def test_daily_polling_cadence():
+    sim = Simulator(seed=1)
+    net = MiniNet(sim, [ServerConfig(name="s1", processing_delay=1e-6)])
+    daemon = AndroidSntpDaemon(sim, net.client, "s1")
+    daemon.start()
+    sim.run_until(86_400.0 * 3 + 100.0)
+    assert daemon.polls == 4  # t=0 plus three daily polls
+
+
+def test_three_retries_then_give_up():
+    sim = Simulator(seed=1)
+    net = MiniNet(
+        sim,
+        [ServerConfig(name="deaf", persona=ServerPersona.UNRESPONSIVE, drop_rate=1.0)],
+    )
+    policy = AndroidSntpPolicy(retry_backoff=1.0)
+    daemon = AndroidSntpDaemon(sim, net.client, "deaf", policy)
+    daemon.start()
+    sim.run_until(3600.0)
+    # Exactly the initial attempt + 2 retries (3 total) in the first day.
+    assert daemon.polls == 3
+    assert net.client.timeouts == 3
+
+
+def test_stop():
+    sim = Simulator(seed=1)
+    net = MiniNet(sim, [ServerConfig(name="s1", processing_delay=1e-6)])
+    daemon = AndroidSntpDaemon(sim, net.client, "s1")
+    daemon.start()
+    sim.run_until(10.0)
+    daemon.stop()
+    sim.run_until(86_400.0 * 2)
+    assert daemon.polls == 1
+
+
+def test_step_traced():
+    sim = Simulator(seed=1)
+    net = MiniNet(sim, [ServerConfig(name="s1", processing_delay=1e-6)])
+    net.client_clock.step(20.0)
+    daemon = AndroidSntpDaemon(sim, net.client, "s1")
+    daemon.start()
+    sim.run_until(60.0)
+    steps = sim.trace.select(component="android", kind="step")
+    assert len(steps) == 1
+    assert steps[0].data["offset"] == pytest.approx(-20.0, abs=0.01)

@@ -1,0 +1,106 @@
+"""Broadcast SNTP (mode 5)."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link, LinkEffect
+from repro.net.path import PathModel
+from repro.ntp.broadcast import BroadcastClient, BroadcastServer
+from repro.simcore import Simulator
+from tests.ntp.helpers import perfect_clock
+
+
+def _wire(sim, server_clock, client_clock, delay=0.005, calibrated=0.005,
+          effect_hook=None):
+    client = BroadcastClient(sim, client_clock, calibrated_delay=calibrated)
+    link = Link(sim, PathModel(sim.rng.stream("b"), base_delay=delay,
+                               queue_mean=0.0), receive=client.on_datagram,
+                effect_hook=effect_hook)
+    server = BroadcastServer(sim, server_clock, send=link.send, interval=10.0)
+    return server, client
+
+
+def test_calibrated_listener_recovers_offset():
+    sim = Simulator(seed=1)
+    server, client = _wire(
+        sim, perfect_clock(sim, stream="s"),
+        perfect_clock(sim, offset=-0.050, stream="c"),
+    )
+    server.start()
+    sim.run_until(60.0)
+    assert len(client.samples) >= 5
+    for sample in client.samples:
+        assert sample.offset == pytest.approx(0.050, abs=1e-6)
+
+
+def test_miscalibration_is_a_direct_bias():
+    sim = Simulator(seed=1)
+    # True delay 20 ms, calibrated as 5 ms: every offset is 15 ms short.
+    server, client = _wire(
+        sim, perfect_clock(sim, stream="s"), perfect_clock(sim, stream="c"),
+        delay=0.020, calibrated=0.005,
+    )
+    server.start()
+    sim.run_until(60.0)
+    for sample in client.samples:
+        assert sample.offset == pytest.approx(-0.015, abs=1e-6)
+
+
+def test_wireless_jitter_hits_full_owd():
+    """Unlike unicast (error = asymmetry/2), broadcast eats the whole
+    one-way excursion — the reason it is LAN-only."""
+    sim = Simulator(seed=2)
+    rng = np.random.default_rng(0)
+
+    def bursty():
+        return LinkEffect(extra_delay=float(rng.exponential(0.050)))
+
+    server, client = _wire(
+        sim, perfect_clock(sim, stream="s"), perfect_clock(sim, stream="c"),
+        effect_hook=bursty,
+    )
+    server.start()
+    sim.run_until(600.0)
+    errors = np.abs([s.offset for s in client.samples])
+    assert errors.mean() > 0.02  # full exponential(50 ms) mean
+
+
+def test_non_broadcast_packets_ignored():
+    sim = Simulator(seed=3)
+    client = BroadcastClient(sim, perfect_clock(sim, stream="c"))
+    from repro.net.message import Datagram
+    from repro.ntp.packet import NtpPacket
+
+    unicast = NtpPacket.sntp_request(1.0)
+    client.on_datagram(Datagram(payload=unicast.encode(), src="x", dst="b"))
+    client.on_datagram(Datagram(payload=b"junk", src="x", dst="b"))
+    assert client.samples == []
+
+
+def test_server_stop_and_validation():
+    sim = Simulator(seed=4)
+    server, client = _wire(sim, perfect_clock(sim, stream="s"),
+                           perfect_clock(sim, stream="c"))
+    server.start()
+    sim.run_until(25.0)
+    server.stop()
+    count = server.broadcasts_sent
+    sim.run_until(100.0)
+    assert server.broadcasts_sent == count
+    with pytest.raises(ValueError):
+        BroadcastServer(sim, perfect_clock(sim, stream="x"),
+                        send=lambda d: None, interval=0.0)
+    with pytest.raises(ValueError):
+        BroadcastClient(sim, perfect_clock(sim, stream="y"),
+                        calibrated_delay=-1.0)
+
+
+def test_on_sample_callback():
+    sim = Simulator(seed=5)
+    seen = []
+    server, client = _wire(sim, perfect_clock(sim, stream="s"),
+                           perfect_clock(sim, stream="c"))
+    client.on_sample = seen.append
+    server.start()
+    sim.run_until(35.0)
+    assert len(seen) == len(client.samples)

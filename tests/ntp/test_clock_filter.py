@@ -1,0 +1,80 @@
+"""Eight-stage clock filter."""
+
+import pytest
+
+from repro.ntp.clock_filter import STAGES, ClockFilter
+
+
+def test_empty_filter_has_no_best():
+    f = ClockFilter()
+    assert f.best(now=0.0) is None
+    assert len(f) == 0
+
+
+def test_min_delay_sample_wins():
+    f = ClockFilter()
+    f.add(offset=0.100, delay=0.200, epoch=0.0)
+    f.add(offset=0.005, delay=0.050, epoch=1.0)
+    f.add(offset=0.300, delay=0.400, epoch=2.0)
+    best = f.best(now=2.0)
+    assert best is not None
+    assert best.offset == 0.005
+
+
+def test_register_bounded_to_eight():
+    f = ClockFilter()
+    for i in range(20):
+        f.add(offset=float(i), delay=1.0 + i, epoch=float(i))
+    assert len(f) == STAGES
+    # Oldest samples fell off: delays 13..20 remain, min is 13 -> offset 12.
+    assert f.best(now=20.0).offset == 12.0
+
+
+def test_dispersion_ages_with_time():
+    f = ClockFilter(min_dispersion=0.001)
+    f.add(offset=0.0, delay=0.01, epoch=0.0)
+    early = f.best(now=0.0).dispersion
+    late = f.best(now=1000.0).dispersion
+    assert late > early
+
+
+def test_jitter_zero_with_single_sample():
+    f = ClockFilter()
+    f.add(offset=0.01, delay=0.01, epoch=0.0)
+    assert f.jitter() == 0.0
+
+
+def test_jitter_reflects_spread():
+    tight = ClockFilter()
+    loose = ClockFilter()
+    for i in range(8):
+        tight.add(offset=0.001 * (i % 2), delay=0.01 + 0.001 * i, epoch=float(i))
+        loose.add(offset=0.1 * (i % 2), delay=0.01 + 0.001 * i, epoch=float(i))
+    assert loose.jitter() > tight.jitter() * 10
+
+
+def test_popcorn_spike_discarded():
+    f = ClockFilter(popcorn_gate=3.0)
+    # Build a stable history.
+    for i in range(8):
+        f.add(offset=0.001 + 0.0001 * (i % 3), delay=0.01, epoch=float(i))
+    f.best(now=8.0)  # establish last_best
+    before = len(f)
+    f.add(offset=5.0, delay=0.01, epoch=9.0)  # monster spike
+    assert f.popcorn_discards == 1
+    assert len(f) == before  # spike did not enter
+    assert abs(f.best(now=9.0).offset) < 0.01
+
+
+def test_samples_accessor_order():
+    f = ClockFilter()
+    f.add(offset=1.0, delay=0.1, epoch=0.0)
+    f.add(offset=2.0, delay=0.1, epoch=1.0)
+    offsets = [s.offset for s in f.samples()]
+    assert offsets == [1.0, 2.0]
+
+
+def test_min_dispersion_floor():
+    f = ClockFilter(min_dispersion=0.005)
+    f.add(offset=0.0, delay=0.01, epoch=0.0, dispersion=0.0)
+    assert f.best(now=0.0).dispersion >= 0.005

@@ -1,0 +1,115 @@
+"""RFC 5905 packet codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ntp.constants import LeapIndicator, Mode, NTP_HEADER_LEN
+from repro.ntp.packet import NtpPacket
+
+
+def test_encode_length():
+    assert len(NtpPacket().encode()) == NTP_HEADER_LEN
+
+
+def test_sntp_request_shape():
+    p = NtpPacket.sntp_request(1000.0)
+    assert p.mode == Mode.CLIENT
+    assert p.stratum == 0
+    assert p.poll == 0
+    assert p.precision == 0
+    assert p.transmit_ts == 1000.0
+    assert p.origin_ts is None
+    assert p.looks_like_sntp_request()
+
+
+def test_ntp_request_not_sntp_shaped():
+    p = NtpPacket.ntp_request(1000.0)
+    assert not p.looks_like_sntp_request()
+
+
+def test_roundtrip_full_packet():
+    p = NtpPacket(
+        leap=LeapIndicator.LAST_MINUTE_61,
+        version=4,
+        mode=Mode.SERVER,
+        stratum=2,
+        poll=6,
+        precision=-20,
+        root_delay=0.015,
+        root_dispersion=0.030,
+        ref_id=b"GPS\x00",
+        reference_ts=999.0,
+        origin_ts=1000.0,
+        receive_ts=1000.5,
+        transmit_ts=1000.6,
+    )
+    q = NtpPacket.decode(p.encode(), pivot_unix=1000.0)
+    assert q.leap == p.leap
+    assert q.version == p.version
+    assert q.mode == p.mode
+    assert q.stratum == p.stratum
+    assert q.poll == p.poll
+    assert q.precision == p.precision
+    assert q.root_delay == pytest.approx(p.root_delay, abs=1e-4)
+    assert q.root_dispersion == pytest.approx(p.root_dispersion, abs=1e-4)
+    assert q.ref_id == p.ref_id
+    assert q.origin_ts == pytest.approx(1000.0, abs=1e-6)
+    assert q.receive_ts == pytest.approx(1000.5, abs=1e-6)
+    assert q.transmit_ts == pytest.approx(1000.6, abs=1e-6)
+
+
+def test_none_timestamps_roundtrip_as_none():
+    p = NtpPacket(transmit_ts=5.0)
+    q = NtpPacket.decode(p.encode(), pivot_unix=5.0)
+    assert q.origin_ts is None
+    assert q.receive_ts is None
+    assert q.reference_ts is None
+    assert q.transmit_ts is not None
+
+
+def test_decode_too_short():
+    with pytest.raises(ValueError):
+        NtpPacket.decode(b"\x00" * 47)
+
+
+def test_decode_ignores_extensions():
+    p = NtpPacket.sntp_request(1.0)
+    padded = p.encode() + b"\xff" * 20
+    q = NtpPacket.decode(padded, pivot_unix=1.0)
+    assert q.looks_like_sntp_request()
+
+
+def test_kiss_of_death():
+    p = NtpPacket(mode=Mode.SERVER, stratum=0)
+    assert p.is_kiss_of_death()
+    assert not NtpPacket(mode=Mode.SERVER, stratum=2).is_kiss_of_death()
+
+
+def test_invalid_fields_rejected():
+    with pytest.raises(ValueError):
+        NtpPacket(stratum=300)
+    with pytest.raises(ValueError):
+        NtpPacket(ref_id=b"too long")
+    with pytest.raises(ValueError):
+        NtpPacket(poll=200)
+    with pytest.raises(ValueError):
+        NtpPacket(version=0)
+
+
+@given(
+    leap=st.sampled_from(list(LeapIndicator)),
+    version=st.integers(1, 7),
+    mode=st.sampled_from(list(Mode)),
+    stratum=st.integers(0, 255),
+    poll=st.integers(-128, 127),
+    precision=st.integers(-128, 127),
+)
+def test_first_four_bytes_roundtrip_property(leap, version, mode, stratum, poll, precision):
+    p = NtpPacket(
+        leap=leap, version=version, mode=mode, stratum=stratum,
+        poll=poll, precision=precision,
+    )
+    q = NtpPacket.decode(p.encode())
+    assert (q.leap, q.version, q.mode, q.stratum, q.poll, q.precision) == (
+        leap, version, mode, stratum, poll, precision,
+    )

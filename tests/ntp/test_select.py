@@ -1,0 +1,100 @@
+"""Intersection (Marzullo) algorithm."""
+
+from hypothesis import given, strategies as st
+
+from repro.ntp.select import SelectInterval, intersection
+
+
+def _iv(name, mid, radius):
+    return SelectInterval(source=name, midpoint=mid, radius=radius)
+
+
+def test_empty():
+    survivors, (lo, hi) = intersection([])
+    assert survivors == []
+
+
+def test_single_candidate_survives():
+    survivors, (lo, hi) = intersection([_iv("a", 0.01, 0.005)])
+    assert [s.source for s in survivors] == ["a"]
+    assert lo == 0.005
+    assert hi == 0.015
+
+
+def test_agreeing_majority_beats_falseticker():
+    candidates = [
+        _iv("a", 0.000, 0.010),
+        _iv("b", 0.002, 0.010),
+        _iv("c", -0.001, 0.010),
+        _iv("liar", 0.500, 0.010),
+    ]
+    survivors, _ = intersection(candidates)
+    names = {s.source for s in survivors}
+    assert "liar" not in names
+    assert {"a", "b", "c"} <= names
+
+
+def test_two_disjoint_pairs_no_majority():
+    candidates = [
+        _iv("a", 0.0, 0.001),
+        _iv("b", 0.0, 0.001),
+        _iv("c", 1.0, 0.001),
+        _iv("d", 1.0, 0.001),
+    ]
+    survivors, _ = intersection(candidates)
+    # With exactly half on each side no majority exists.
+    assert survivors == []
+
+
+def test_all_identical():
+    candidates = [_iv(f"s{i}", 0.005, 0.002) for i in range(5)]
+    survivors, (lo, hi) = intersection(candidates)
+    assert len(survivors) == 5
+    assert lo <= 0.005 <= hi
+
+
+def test_wide_interval_contains_all():
+    candidates = [
+        _iv("wide", 0.0, 10.0),
+        _iv("a", 0.1, 0.01),
+        _iv("b", 0.11, 0.01),
+    ]
+    survivors, _ = intersection(candidates)
+    assert {"wide", "a", "b"} == {s.source for s in survivors}
+
+
+def test_interval_edges():
+    iv = _iv("x", 1.0, 0.25)
+    assert iv.low == 0.75
+    assert iv.high == 1.25
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(-1.0, 1.0), st.floats(0.001, 0.5)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_survivors_intersect_returned_range(pairs):
+    candidates = [_iv(f"s{i}", mid, rad) for i, (mid, rad) in enumerate(pairs)]
+    survivors, (lo, hi) = intersection(candidates)
+    if survivors:
+        assert lo <= hi
+        for s in survivors:
+            assert s.low <= hi and s.high >= lo
+
+
+@given(
+    st.floats(-0.5, 0.5),
+    st.integers(3, 8),
+)
+def test_truth_always_survives_honest_majority(truth, n):
+    """If all candidates' intervals contain the true offset, all survive."""
+    candidates = [
+        _iv(f"s{i}", truth + (-1) ** i * 0.001 * i, 0.02 + 0.001 * i)
+        for i in range(n)
+    ]
+    survivors, (lo, hi) = intersection(candidates)
+    assert len(survivors) == n
+    assert lo <= truth <= hi

@@ -1,0 +1,88 @@
+"""NTP timestamp codec correctness and roundtrips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ntp.constants import NTP_UNIX_EPOCH_DELTA
+from repro.ntp.timestamps import (
+    ZERO_TIMESTAMP,
+    decode_short,
+    decode_timestamp,
+    encode_short,
+    encode_timestamp,
+    is_zero_timestamp,
+    ntp_to_unix,
+    unix_to_ntp,
+)
+
+
+def test_epoch_delta():
+    assert unix_to_ntp(0.0) == NTP_UNIX_EPOCH_DELTA
+    assert ntp_to_unix(NTP_UNIX_EPOCH_DELTA) == 0.0
+
+
+def test_known_encoding():
+    # Unix 0 -> NTP seconds 2208988800, zero fraction.
+    data = encode_timestamp(0.0)
+    assert data == (2_208_988_800).to_bytes(4, "big") + b"\x00\x00\x00\x00"
+
+
+def test_roundtrip_subsecond_precision():
+    t = 1_460_000_000.123456
+    decoded = decode_timestamp(encode_timestamp(t), pivot_unix=t)
+    assert decoded == pytest.approx(t, abs=1e-6)
+
+
+def test_fraction_rounding_carry():
+    # A value whose fraction rounds up to a full second.
+    t = 1.0 - 2**-33
+    decoded = decode_timestamp(encode_timestamp(t), pivot_unix=1.0)
+    assert decoded == pytest.approx(1.0, abs=1e-9)
+
+
+def test_zero_sentinel():
+    assert is_zero_timestamp(ZERO_TIMESTAMP)
+    assert not is_zero_timestamp(encode_timestamp(0.0))
+
+
+def test_decode_wrong_length():
+    with pytest.raises(ValueError):
+        decode_timestamp(b"\x00" * 7)
+
+
+def test_era_pivot_resolves_wrap():
+    # An instant past the 2036 era-0 rollover.
+    t = 2_300_000_000.0
+    decoded = decode_timestamp(encode_timestamp(t), pivot_unix=t)
+    assert decoded == pytest.approx(t, abs=1e-5)
+
+
+@given(st.floats(min_value=0.0, max_value=4_000_000_000.0))
+def test_roundtrip_property(t):
+    decoded = decode_timestamp(encode_timestamp(t), pivot_unix=t)
+    assert abs(decoded - t) < 1e-6
+
+
+def test_short_format_roundtrip():
+    for v in (0.0, 0.001, 1.5, 100.25):
+        assert decode_short(encode_short(v)) == pytest.approx(v, abs=1 / 65_536)
+
+
+def test_short_format_saturates():
+    huge = 1e9
+    assert decode_short(encode_short(huge)) == pytest.approx(65_536.0, rel=0.01)
+
+
+def test_short_format_negative_rejected():
+    with pytest.raises(ValueError):
+        encode_short(-1.0)
+
+
+def test_short_format_wrong_length():
+    with pytest.raises(ValueError):
+        decode_short(b"\x00\x00")
+
+
+@given(st.floats(min_value=0.0, max_value=60_000.0))
+def test_short_roundtrip_property(v):
+    assert abs(decode_short(encode_short(v)) - v) <= 1 / 65_536

@@ -1,0 +1,67 @@
+"""Offset/delay arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ntp.packet import NtpPacket
+from repro.ntp.constants import Mode
+from repro.ntp.wire import compute_offset_delay, sample_from_exchange
+
+
+def test_symmetric_path_exact_offset():
+    # Client 10 s behind the server; symmetric 50 ms OWD each way.
+    t1 = 100.0          # client clock
+    t2 = 110.05         # server clock (true + 10)
+    t3 = 110.06
+    t4 = 100.11         # client clock again
+    offset, delay = compute_offset_delay(t1, t2, t3, t4)
+    assert offset == pytest.approx(10.0, abs=1e-9)
+    assert delay == pytest.approx(0.1, abs=1e-9)
+
+
+def test_asymmetry_biases_offset_by_half():
+    # Forward OWD 100 ms, reverse 0: offset error = +50 ms.
+    t1, t2, t3, t4 = 0.0, 0.1, 0.1, 0.1
+    offset, delay = compute_offset_delay(t1, t2, t3, t4)
+    assert offset == pytest.approx(0.05)
+    assert delay == pytest.approx(0.1)
+
+
+def test_zero_delay_zero_offset():
+    offset, delay = compute_offset_delay(1.0, 1.0, 1.0, 1.0)
+    assert offset == 0.0
+    assert delay == 0.0
+
+
+@given(
+    true_offset=st.floats(-1e3, 1e3),
+    owd=st.floats(0.001, 1.0),
+    server_proc=st.floats(0.0, 0.01),
+)
+def test_offset_recovered_exactly_on_symmetric_paths(true_offset, owd, server_proc):
+    t1 = 500.0
+    t2 = t1 + owd + true_offset
+    t3 = t2 + server_proc
+    t4 = t1 + owd + server_proc + owd
+    offset, delay = compute_offset_delay(t1, t2, t3, t4)
+    assert offset == pytest.approx(true_offset, abs=1e-6)
+    assert delay == pytest.approx(2 * owd, abs=1e-6)
+
+
+def test_sample_from_exchange():
+    response = NtpPacket(
+        mode=Mode.SERVER, stratum=2, receive_ts=110.05, transmit_ts=110.06,
+        root_delay=0.002, root_dispersion=0.004,
+    )
+    sample = sample_from_exchange(100.0, response, 100.11)
+    assert sample.offset == pytest.approx(10.0)
+    assert sample.delay == pytest.approx(0.1)
+    assert sample.server_stratum == 2
+    assert sample.root_delay == pytest.approx(0.002, abs=1e-4)
+    assert sample.dispersion_bound == pytest.approx(0.05)
+
+
+def test_sample_from_exchange_missing_timestamps():
+    response = NtpPacket(mode=Mode.SERVER, stratum=2)
+    with pytest.raises(ValueError):
+        sample_from_exchange(0.0, response, 1.0)

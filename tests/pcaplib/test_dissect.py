@@ -1,0 +1,79 @@
+"""NTP dissector over full frames."""
+
+from repro.ntp.constants import NTP_PORT
+from repro.ntp.packet import NtpPacket
+from repro.pcaplib.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetFrame
+from repro.pcaplib.ip import Ipv4Header, Ipv6Header, PROTO_UDP
+from repro.pcaplib.ntpdissect import dissect_ntp_packet
+from repro.pcaplib.udp import UdpDatagram
+
+
+def _frame(payload, sport=40_000, dport=NTP_PORT, ipv6=False):
+    udp = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    if ipv6:
+        src, dst = "2001:db8::1", "2001:db8::2"
+        ip = Ipv6Header(src=src, dst=dst, next_header=PROTO_UDP,
+                        payload=udp.encode(src, dst)).encode()
+        ethertype = ETHERTYPE_IPV6
+    else:
+        src, dst = "10.1.0.5", "192.0.2.1"
+        ip = Ipv4Header(src=src, dst=dst, protocol=PROTO_UDP,
+                        payload=udp.encode(src, dst)).encode()
+        ethertype = ETHERTYPE_IPV4
+    return EthernetFrame(
+        dst="02:00:00:00:00:01", src="02:00:00:00:00:02",
+        ethertype=ethertype, payload=ip,
+    ).encode()
+
+
+def test_dissects_sntp_request():
+    packet = NtpPacket.sntp_request(1_460_000_000.5)
+    d = dissect_ntp_packet(_frame(packet.encode()), pivot_unix=1_460_000_000.0)
+    assert d is not None
+    assert d.is_request
+    assert not d.is_response
+    assert d.src_ip == "10.1.0.5"
+    assert d.ip_version == 4
+    assert d.packet.looks_like_sntp_request()
+
+
+def test_dissects_ipv6():
+    packet = NtpPacket.ntp_request(100.0)
+    d = dissect_ntp_packet(_frame(packet.encode(), ipv6=True), pivot_unix=100.0)
+    assert d is not None
+    assert d.ip_version == 6
+
+
+def test_response_direction():
+    from repro.ntp.constants import Mode
+
+    packet = NtpPacket(mode=Mode.SERVER, stratum=2, receive_ts=1.0, transmit_ts=1.1)
+    d = dissect_ntp_packet(
+        _frame(packet.encode(), sport=NTP_PORT, dport=40_000), pivot_unix=1.0
+    )
+    assert d is not None
+    assert d.is_response
+
+
+def test_non_ntp_port_skipped():
+    packet = NtpPacket.sntp_request(1.0)
+    frame = _frame(packet.encode(), sport=40_000, dport=53)
+    assert dissect_ntp_packet(frame) is None
+
+
+def test_short_payload_skipped():
+    frame = _frame(b"\x1b" + b"\x00" * 10)
+    assert dissect_ntp_packet(frame) is None
+
+
+def test_non_udp_skipped():
+    ip = Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=6,  # TCP
+                    payload=b"\x00" * 60).encode()
+    frame = EthernetFrame(dst="02:00:00:00:00:01", src="02:00:00:00:00:02",
+                          ethertype=ETHERTYPE_IPV4, payload=ip).encode()
+    assert dissect_ntp_packet(frame) is None
+
+
+def test_garbage_skipped():
+    assert dissect_ntp_packet(b"\x00" * 5) is None
+    assert dissect_ntp_packet(b"\xff" * 100) is None

@@ -1,0 +1,123 @@
+"""Ethernet / IP / UDP codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pcaplib.ethernet import (
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    bytes_to_mac,
+    mac_to_bytes,
+)
+from repro.pcaplib.ip import Ipv4Header, Ipv6Header, PROTO_UDP, internet_checksum
+from repro.pcaplib.udp import UdpDatagram
+
+
+def test_mac_roundtrip():
+    mac = "02:0a:ff:00:12:34"
+    assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+
+def test_bad_mac():
+    with pytest.raises(ValueError):
+        mac_to_bytes("not-a-mac")
+    with pytest.raises(ValueError):
+        bytes_to_mac(b"\x00" * 5)
+
+
+def test_ethernet_roundtrip():
+    frame = EthernetFrame(
+        dst="02:00:00:00:00:01", src="02:00:00:00:00:02",
+        ethertype=ETHERTYPE_IPV4, payload=b"payload",
+    )
+    decoded = EthernetFrame.decode(frame.encode())
+    assert decoded == frame
+
+
+def test_ethernet_too_short():
+    with pytest.raises(ValueError):
+        EthernetFrame.decode(b"\x00" * 10)
+
+
+def test_checksum_known_vector():
+    # RFC 1071 example-style: checksum of a buffer plus its checksum is 0.
+    data = b"\x45\x00\x00\x28\x00\x00\x00\x00\x40\x11"
+    c = internet_checksum(data)
+    full = data + c.to_bytes(2, "big")
+    assert internet_checksum(full) == 0
+
+
+def test_ipv4_roundtrip_and_checksum():
+    pkt = Ipv4Header(src="10.1.2.3", dst="192.0.2.1", protocol=PROTO_UDP,
+                     payload=b"data")
+    decoded = Ipv4Header.decode(pkt.encode())
+    assert decoded.src == "10.1.2.3"
+    assert decoded.dst == "192.0.2.1"
+    assert decoded.payload == b"data"
+
+
+def test_ipv4_corrupt_checksum_detected():
+    raw = bytearray(Ipv4Header(src="10.0.0.1", dst="10.0.0.2",
+                               protocol=PROTO_UDP, payload=b"x").encode())
+    raw[8] ^= 0xFF  # flip TTL
+    with pytest.raises(ValueError):
+        Ipv4Header.decode(bytes(raw))
+
+
+def test_ipv4_wrong_version():
+    raw = bytearray(Ipv4Header(src="10.0.0.1", dst="10.0.0.2",
+                               protocol=PROTO_UDP, payload=b"").encode())
+    raw[0] = (6 << 4) | 5
+    with pytest.raises(ValueError):
+        Ipv4Header.decode(bytes(raw))
+
+
+def test_ipv6_roundtrip():
+    pkt = Ipv6Header(src="2001:db8:1::1", dst="2001:db8:2::2",
+                     next_header=PROTO_UDP, payload=b"abc")
+    decoded = Ipv6Header.decode(pkt.encode())
+    assert decoded.src == "2001:db8:1::1"
+    assert decoded.payload == b"abc"
+
+
+def test_ipv6_too_short():
+    with pytest.raises(ValueError):
+        Ipv6Header.decode(b"\x60" + b"\x00" * 20)
+
+
+def test_udp_roundtrip_with_checksum():
+    udp = UdpDatagram(src_port=12_345, dst_port=123, payload=b"ntp packet")
+    wire = udp.encode("10.0.0.1", "10.0.0.2")
+    decoded = UdpDatagram.decode(wire, "10.0.0.1", "10.0.0.2", verify_checksum=True)
+    assert decoded.src_port == 12_345
+    assert decoded.dst_port == 123
+    assert decoded.payload == b"ntp packet"
+
+
+def test_udp_checksum_corruption_detected():
+    udp = UdpDatagram(src_port=1, dst_port=2, payload=b"abcd")
+    wire = bytearray(udp.encode("10.0.0.1", "10.0.0.2"))
+    wire[-1] ^= 0xFF
+    with pytest.raises(ValueError):
+        UdpDatagram.decode(bytes(wire), "10.0.0.1", "10.0.0.2", verify_checksum=True)
+
+
+def test_udp_ipv6_pseudo_header():
+    udp = UdpDatagram(src_port=5, dst_port=123, payload=b"v6")
+    wire = udp.encode("2001:db8::1", "2001:db8::2")
+    decoded = UdpDatagram.decode(wire, "2001:db8::1", "2001:db8::2",
+                                 verify_checksum=True)
+    assert decoded.payload == b"v6"
+
+
+def test_udp_too_short():
+    with pytest.raises(ValueError):
+        UdpDatagram.decode(b"\x00" * 4)
+
+
+@given(st.binary(max_size=300), st.integers(1, 65_535), st.integers(1, 65_535))
+def test_udp_roundtrip_property(payload, sport, dport):
+    udp = UdpDatagram(src_port=sport, dst_port=dport, payload=payload)
+    wire = udp.encode("10.0.0.1", "10.0.0.2")
+    decoded = UdpDatagram.decode(wire, "10.0.0.1", "10.0.0.2", verify_checksum=True)
+    assert decoded == udp

@@ -1,0 +1,112 @@
+"""Classic pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pcaplib.pcap import PCAP_MAGIC, PcapReader, PcapRecord, PcapWriter
+
+
+def _roundtrip(records):
+    buf = io.BytesIO()
+    writer = PcapWriter(buf)
+    writer.write_all(records)
+    buf.seek(0)
+    return PcapReader(buf).read_all()
+
+
+def test_empty_file_roundtrip():
+    assert _roundtrip([]) == []
+
+
+def test_single_record_roundtrip():
+    rec = PcapRecord(ts=1_460_000_000.123456, data=b"hello")
+    out = _roundtrip([rec])
+    assert len(out) == 1
+    assert out[0].data == b"hello"
+    assert out[0].ts == pytest.approx(rec.ts, abs=1e-6)
+
+
+def test_global_header_fields():
+    buf = io.BytesIO()
+    PcapWriter(buf, linktype=1, snaplen=65_535)
+    buf.seek(0)
+    reader = PcapReader(buf)
+    assert reader.version_major == 2
+    assert reader.version_minor == 4
+    assert reader.linktype == 1
+    assert reader.snaplen == 65_535
+
+
+def test_bad_magic_rejected():
+    buf = io.BytesIO(b"\x00" * 24)
+    with pytest.raises(ValueError):
+        PcapReader(buf)
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ValueError):
+        PcapReader(io.BytesIO(b"\x12\x34"))
+
+
+def test_truncated_record_rejected():
+    buf = io.BytesIO()
+    writer = PcapWriter(buf)
+    writer.write(PcapRecord(ts=1.0, data=b"abcdef"))
+    data = buf.getvalue()[:-3]  # chop the body
+    reader = PcapReader(io.BytesIO(data))
+    with pytest.raises(ValueError):
+        list(reader)
+
+
+def test_big_endian_read():
+    """Reader must accept swapped-magic captures."""
+    buf = io.BytesIO()
+    buf.write(struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65_535, 1))
+    buf.write(struct.pack(">IIII", 100, 500_000, 3, 3))
+    buf.write(b"abc")
+    buf.seek(0)
+    records = PcapReader(buf).read_all()
+    assert records[0].data == b"abc"
+    assert records[0].ts == pytest.approx(100.5)
+
+
+def test_microsecond_rounding_carry():
+    rec = PcapRecord(ts=5.9999999, data=b"x")
+    out = _roundtrip([rec])
+    assert out[0].ts == pytest.approx(6.0, abs=1e-6)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=2e9),
+            st.binary(min_size=0, max_size=200),
+        ),
+        max_size=30,
+    )
+)
+def test_roundtrip_property(items):
+    records = [PcapRecord(ts=t, data=d) for t, d in items]
+    out = _roundtrip(records)
+    assert len(out) == len(records)
+    for before, after in zip(records, out):
+        assert after.data == before.data
+        assert abs(after.ts - before.ts) < 1e-5
+
+
+def test_open_pcap_file_roundtrip(tmp_path):
+    from repro.pcaplib.pcap import open_pcap
+
+    path = str(tmp_path / "trace.pcap")
+    writer = open_pcap(path, "w")
+    writer.write(PcapRecord(ts=12.5, data=b"frame-bytes"))
+    writer._f.close()
+    reader = open_pcap(path, "r")
+    records = reader.read_all()
+    assert len(records) == 1
+    assert records[0].data == b"frame-bytes"
+    with pytest.raises(ValueError):
+        open_pcap(path, "x")

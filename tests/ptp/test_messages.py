@@ -1,0 +1,118 @@
+"""PTP wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ptp.messages import (
+    FLAG_TWO_STEP,
+    HEADER_LEN,
+    PtpHeader,
+    PtpMessageType,
+    compute_ptp_offset,
+    decode_ptp_timestamp,
+    encode_ptp_timestamp,
+)
+
+
+def test_timestamp_roundtrip():
+    t = 1_460_000_000.123456789
+    assert decode_ptp_timestamp(encode_ptp_timestamp(t)) == pytest.approx(
+        t, abs=1e-9
+    )
+
+
+def test_timestamp_negative_rejected():
+    with pytest.raises(ValueError):
+        encode_ptp_timestamp(-1.0)
+
+
+def test_timestamp_wrong_length():
+    with pytest.raises(ValueError):
+        decode_ptp_timestamp(b"\x00" * 9)
+
+
+def test_timestamp_48bit_seconds():
+    big = float(2**40)  # beyond 32-bit seconds
+    assert decode_ptp_timestamp(encode_ptp_timestamp(big)) == big
+
+
+@given(st.floats(min_value=0, max_value=2**47))
+def test_timestamp_roundtrip_property(t):
+    decoded = decode_ptp_timestamp(encode_ptp_timestamp(t))
+    assert abs(decoded - t) < 1e-6
+
+
+def test_sync_roundtrip():
+    msg = PtpHeader(
+        message_type=PtpMessageType.SYNC,
+        sequence_id=42,
+        source_port_identity=b"MASTER0001",
+        flags=FLAG_TWO_STEP,
+        timestamp=None,
+    )
+    wire = msg.encode()
+    assert len(wire) == HEADER_LEN + 10
+    decoded = PtpHeader.decode(wire)
+    assert decoded.message_type == PtpMessageType.SYNC
+    assert decoded.sequence_id == 42
+    assert decoded.flags & FLAG_TWO_STEP
+    assert decoded.timestamp is None  # two-step Sync body is zero
+
+
+def test_follow_up_carries_timestamp():
+    msg = PtpHeader(
+        message_type=PtpMessageType.FOLLOW_UP, sequence_id=7,
+        source_port_identity=b"MASTER0001", timestamp=123.456,
+    )
+    decoded = PtpHeader.decode(msg.encode())
+    assert decoded.timestamp == pytest.approx(123.456, abs=1e-9)
+
+
+def test_delay_resp_carries_requesting_identity():
+    msg = PtpHeader(
+        message_type=PtpMessageType.DELAY_RESP, sequence_id=7,
+        source_port_identity=b"MASTER0001", timestamp=5.0,
+        requesting_port_identity=b"SLAVE00001",
+    )
+    decoded = PtpHeader.decode(msg.encode())
+    assert decoded.requesting_port_identity == b"SLAVE00001"
+
+
+def test_correction_field_roundtrip():
+    msg = PtpHeader(
+        message_type=PtpMessageType.SYNC, sequence_id=1,
+        correction_ns=123_456,
+    )
+    assert PtpHeader.decode(msg.encode()).correction_ns == 123_456
+
+
+def test_bad_inputs():
+    with pytest.raises(ValueError):
+        PtpHeader(message_type=PtpMessageType.SYNC, sequence_id=1,
+                  source_port_identity=b"short")
+    with pytest.raises(ValueError):
+        PtpHeader(message_type=PtpMessageType.SYNC, sequence_id=70_000)
+    with pytest.raises(ValueError):
+        PtpHeader.decode(b"\x00" * 10)
+    # Wrong version byte.
+    wire = bytearray(PtpHeader(message_type=PtpMessageType.SYNC,
+                               sequence_id=1).encode())
+    wire[1] = 1
+    with pytest.raises(ValueError):
+        PtpHeader.decode(bytes(wire))
+
+
+def test_offset_formula_symmetric_path():
+    # Slave 10 ms ahead, symmetric 2 ms path.
+    t1, t2 = 100.000, 100.012     # master send, slave receive (slave clock +10ms)
+    t3, t4 = 100.020, 100.012     # slave send, master receive
+    offset, delay = compute_ptp_offset(t1, t2, t3, t4)
+    assert offset == pytest.approx(0.010, abs=1e-12)
+    assert delay == pytest.approx(0.002, abs=1e-12)
+
+
+def test_offset_formula_asymmetry_error():
+    # Forward 10 ms, reverse 0: offset error = +5 ms with zero true offset.
+    offset, delay = compute_ptp_offset(0.0, 0.010, 0.020, 0.020)
+    assert offset == pytest.approx(0.005)
+    assert delay == pytest.approx(0.005)

@@ -1,0 +1,66 @@
+"""Table and series rendering."""
+
+import pytest
+
+from repro.reporting.series import render_cdf, render_series
+from repro.reporting.tables import render_table
+
+
+def test_table_alignment_and_separator():
+    text = render_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 22.25]],
+    )
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "1.50" in lines[2]
+    assert "22.25" in lines[3]
+
+
+def test_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_table_numeric_right_aligned():
+    text = render_table(["n"], [["5"], ["500"]])
+    lines = text.splitlines()
+    assert lines[2].endswith("  5") or lines[2].strip() == "5"
+    # Right alignment: the short number is padded on the left.
+    assert lines[2].rstrip().endswith("5")
+    assert lines[3].rstrip().endswith("500")
+    assert len(lines[2]) == len(lines[3]) or lines[2].strip() == "5"
+
+
+def test_series_sparkline():
+    text = render_series([0.001] * 50 + [0.5], label="offsets")
+    assert text.startswith("offsets:")
+    assert "peak=500.0ms" in text
+    assert "n=51" in text
+
+
+def test_series_empty():
+    assert "(empty)" in render_series([], label="x")
+
+
+def test_series_width_respected():
+    text = render_series(list(range(1000)), label="w", width=40)
+    bar = text.split("|")[1]
+    assert len(bar) == 40
+
+
+def test_series_bad_width():
+    with pytest.raises(ValueError):
+        render_series([1.0], width=0)
+
+
+def test_cdf_quantiles():
+    text = render_cdf([0.001 * i for i in range(101)], label="cdf")
+    assert "p50=" in text
+    assert "p99=" in text
+
+
+def test_cdf_empty():
+    assert "(empty)" in render_cdf([], label="cdf")

@@ -1,0 +1,115 @@
+"""EventQueue ordering, cancellation, and edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simcore.events import EventQueue
+
+
+def test_empty_queue_pops_none():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None
+    assert len(q) == 0
+    assert not q
+
+
+def test_fifo_within_same_time():
+    q = EventQueue()
+    order = []
+    q.push(1.0, lambda: order.append("a"))
+    q.push(1.0, lambda: order.append("b"))
+    q.push(1.0, lambda: order.append("c"))
+    while (ev := q.pop()) is not None:
+        ev.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_time_ordering():
+    q = EventQueue()
+    q.push(3.0, lambda: None, label="late")
+    q.push(1.0, lambda: None, label="early")
+    q.push(2.0, lambda: None, label="mid")
+    labels = []
+    while (ev := q.pop()) is not None:
+        labels.append(ev.label)
+    assert labels == ["early", "mid", "late"]
+
+
+def test_cancelled_event_skipped():
+    q = EventQueue()
+    ev1 = q.push(1.0, lambda: None, label="first")
+    q.push(2.0, lambda: None, label="second")
+    ev1.cancel()
+    popped = q.pop()
+    assert popped is not None and popped.label == "second"
+    assert q.pop() is None
+
+
+def test_len_excludes_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    ev.cancel()
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    ev.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert q.pop() is None
+
+
+def test_bool_reflects_live_events():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    assert q
+    ev.cancel()
+    assert not q
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100),
+    st.data(),
+)
+def test_cancellation_never_loses_other_events(times, data):
+    q = EventQueue()
+    events = [q.push(t, lambda: None) for t in times]
+    cancel_idx = data.draw(
+        st.sets(st.integers(0, len(events) - 1), max_size=len(events))
+    )
+    for i in cancel_idx:
+        events[i].cancel()
+    survivors = 0
+    while q.pop() is not None:
+        survivors += 1
+    assert survivors == len(times) - len(cancel_idx)

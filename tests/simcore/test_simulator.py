@@ -1,0 +1,164 @@
+"""Simulator scheduling, processes, and run control."""
+
+import pytest
+
+from repro.simcore import Simulator
+from repro.simcore.simulator import Waiter
+
+
+def test_call_after_fires_at_right_time(sim):
+    fired = []
+    sim.call_after(5.0, lambda: fired.append(sim.now))
+    sim.run_until(10.0)
+    assert fired == [5.0]
+    assert sim.now == 10.0
+
+
+def test_call_at_absolute(sim):
+    fired = []
+    sim.call_at(3.0, lambda: fired.append(sim.now))
+    sim.run_until(3.0)
+    assert fired == [3.0]
+
+
+def test_cannot_schedule_in_past(sim):
+    sim.run_until(10.0)
+    with pytest.raises(ValueError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_run_until_backwards_rejected(sim):
+    sim.run_until(10.0)
+    with pytest.raises(ValueError):
+        sim.run_until(5.0)
+
+
+def test_events_beyond_horizon_stay_queued(sim):
+    fired = []
+    sim.call_after(100.0, lambda: fired.append(1))
+    sim.run_until(50.0)
+    assert fired == []
+    assert sim.pending_events == 1
+    sim.run_until(150.0)
+    assert fired == [1]
+
+
+def test_nested_scheduling(sim):
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.call_after(2.0, lambda: fired.append(("inner", sim.now)))
+
+    sim.call_after(1.0, outer)
+    sim.run_until(10.0)
+    assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_run_for_advances_relative(sim):
+    sim.run_for(5.0)
+    sim.run_for(5.0)
+    assert sim.now == 10.0
+
+
+def test_stop_halts_run(sim):
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.call_after(1.0, first)
+    sim.call_after(2.0, lambda: fired.append(2))
+    sim.run_until(10.0)
+    assert fired == [1]
+    # The second event remains queued for a future run.
+    sim.run_until(10.0)
+    assert fired == [1, 2]
+
+
+def test_process_yields_delays(sim):
+    ticks = []
+
+    def proc():
+        for _ in range(3):
+            ticks.append(sim.now)
+            yield 2.0
+
+    sim.spawn(proc(), name="ticker")
+    sim.run_until(10.0)
+    assert ticks == [0.0, 2.0, 4.0]
+
+
+def test_process_negative_delay_raises(sim):
+    def proc():
+        yield -1.0
+
+    sim.spawn(proc(), name="bad")
+    with pytest.raises(ValueError):
+        sim.run_until(1.0)
+
+
+def test_process_stop(sim):
+    ticks = []
+
+    def proc():
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    p = sim.spawn(proc(), name="stoppable")
+    sim.run_until(2.5)
+    p.stop()
+    sim.run_until(10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_process_waiter_resumes_on_condition(sim):
+    state = {"ready": False, "resumed_at": None}
+
+    def proc():
+        yield Waiter(lambda now: state["ready"], poll_interval=0.5)
+        state["resumed_at"] = sim.now
+
+    sim.spawn(proc(), name="waiter")
+    sim.call_after(3.2, lambda: state.update(ready=True))
+    sim.run_until(10.0)
+    assert state["resumed_at"] is not None
+    assert 3.2 <= state["resumed_at"] <= 4.0
+
+
+def test_waiter_bad_interval():
+    with pytest.raises(ValueError):
+        Waiter(lambda now: True, poll_interval=0.0)
+
+
+def test_run_to_completion_drains(sim):
+    fired = []
+    sim.call_after(1.0, lambda: fired.append(1))
+    sim.call_after(2.0, lambda: fired.append(2))
+    sim.run_to_completion()
+    assert fired == [1, 2]
+
+
+def test_deterministic_same_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        values = []
+
+        def proc():
+            for _ in range(5):
+                values.append(float(sim.rng.stream("x").normal()))
+                yield 1.0
+
+        sim.spawn(proc(), name="p")
+        sim.run_until(10.0)
+        return values
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

@@ -1,0 +1,54 @@
+"""TraceLog structured logging."""
+
+from repro.simcore.trace import TraceLog
+
+
+def test_emit_and_len():
+    log = TraceLog()
+    log.emit(1.0, "mntp", "deferred", rssi=-80.0)
+    log.emit(2.0, "mntp", "offset_accepted", offset=0.005)
+    assert len(log) == 2
+
+
+def test_select_by_component():
+    log = TraceLog()
+    log.emit(1.0, "a", "x")
+    log.emit(2.0, "b", "x")
+    assert [r.component for r in log.select(component="a")] == ["a"]
+
+
+def test_select_by_kind():
+    log = TraceLog()
+    log.emit(1.0, "a", "x")
+    log.emit(2.0, "a", "y")
+    assert [r.kind for r in log.select(kind="y")] == ["y"]
+
+
+def test_select_both_filters():
+    log = TraceLog()
+    log.emit(1.0, "a", "x")
+    log.emit(2.0, "a", "y")
+    log.emit(3.0, "b", "y")
+    records = log.select(component="a", kind="y")
+    assert len(records) == 1
+    assert records[0].time == 2.0
+
+
+def test_data_payload_preserved():
+    log = TraceLog()
+    rec = log.emit(1.0, "c", "k", value=42, name="test")
+    assert rec.data == {"value": 42, "name": "test"}
+
+
+def test_iteration_order():
+    log = TraceLog()
+    for i in range(5):
+        log.emit(float(i), "c", "k")
+    assert [r.time for r in log] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_clear():
+    log = TraceLog()
+    log.emit(1.0, "c", "k")
+    log.clear()
+    assert len(log) == 0

@@ -1,0 +1,117 @@
+"""CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_scenarios_listing(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "mntp_wireless_corrected" in out
+    assert "wired_uncorrected" in out
+
+
+def test_run_sntp_only_scenario(capsys):
+    assert main(["--seed", "1", "run", "wired_corrected"]) == 0
+    out = capsys.readouterr().out
+    assert "SNTP" in out
+    assert "MNTP" not in out
+
+
+def test_run_mntp_scenario(capsys):
+    assert main(["--seed", "1", "run", "mntp_wireless_corrected"]) == 0
+    out = capsys.readouterr().out
+    assert "MNTP" in out
+    assert "improvement" in out
+
+
+def test_run_unknown_scenario_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nonsense"])
+
+
+def test_logstudy(capsys):
+    assert main(["--seed", "3", "logstudy", "--servers", "JW1",
+                 "--scale", "1e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "JW1" in out
+    assert "category medians" in out
+
+
+def test_logstudy_unknown_server(capsys):
+    assert main(["logstudy", "--servers", "NOPE"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown server" in err
+
+
+def test_cellular(capsys):
+    assert main(["--seed", "1", "cellular"]) == 0
+    out = capsys.readouterr().out
+    assert "promotions=" in out
+    assert "offset CDF" in out
+
+
+def test_tune_and_save(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["--seed", "2", "tune", "--hours", "0.5",
+                 "--save", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "RMSE (ms)" in out
+    assert path.exists()
+    from repro.tuner import OffsetTrace
+
+    with open(path) as f:
+        trace = OffsetTrace.load(f)
+    assert len(trace) > 300
+
+
+def test_autotune(capsys):
+    assert main(["--seed", "2", "autotune", "--hours", "0.5",
+                 "--target-ms", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended" in out
+    assert "pareto" in out.lower()
+
+
+def test_autotune_infeasible(capsys):
+    assert main(["--seed", "2", "autotune", "--hours", "0.5",
+                 "--budget-per-hour", "0.0001"]) == 1
+    assert "no viable" in capsys.readouterr().out
+
+
+def test_run_save_and_replay(tmp_path, capsys):
+    path = tmp_path / "run.json"
+    assert main(["--seed", "1", "run", "wired_uncorrected",
+                 "--save", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "archived" in out
+    assert path.exists()
+    assert main(["replay", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "SNTP" in out
+
+
+def test_replay_missing_file(capsys):
+    assert main(["replay", "/nonexistent/run.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_logstudy_save_pcap(tmp_path, capsys):
+    assert main(["--seed", "3", "logstudy", "--servers", "JW1",
+                 "--scale", "1e-4", "--save-pcap-dir", str(tmp_path)]) == 0
+    pcap_path = tmp_path / "JW1.pcap"
+    assert pcap_path.exists()
+    # The written file is a genuine pcap that parses back to NTP traffic.
+    from repro.logs.parser import parse_trace
+
+    observations = parse_trace(pcap_path.read_bytes())
+    assert observations
+
+
+def test_calibrate(capsys):
+    code = main(["--seed", "1", "calibrate"])
+    out = capsys.readouterr().out
+    assert "verdict" in out
+    assert code == 0
+    assert "calibration OK" in out

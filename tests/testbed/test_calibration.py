@@ -1,0 +1,31 @@
+"""Calibration report against Figure-4 targets."""
+
+import pytest
+
+from repro.testbed.calibration import TARGETS, CalibrationTarget, run_calibration
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_calibration(seed=1)
+
+
+def test_default_seed_is_in_band(report):
+    assert report.ok, {
+        name: f"{report.measured[name] * 1000:.1f} ms"
+        for name, ok in report.verdicts.items() if not ok
+    }
+
+
+def test_rows_cover_all_targets(report):
+    rows = report.rows()
+    assert len(rows) == len(TARGETS)
+    assert all(row[-1] in ("ok", "OUT") for row in rows)
+
+
+def test_target_check_logic():
+    target = CalibrationTarget("x", 0.01, 0.005, 0.02)
+    assert target.check(0.01)
+    assert target.check(0.005)
+    assert not target.check(0.021)
+    assert not target.check(0.004)

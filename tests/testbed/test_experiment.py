@@ -1,0 +1,105 @@
+"""ExperimentRunner and result series."""
+
+import math
+
+import pytest
+
+from repro.core.config import MntpConfig
+from repro.testbed.experiment import (
+    ExperimentResult,
+    ExperimentRunner,
+    OffsetPoint,
+    SeriesStats,
+)
+from repro.testbed.nodes import TestbedOptions
+
+
+def test_offset_point_error():
+    p = OffsetPoint(time=0.0, offset=-0.05, truth=0.05)
+    assert p.error == pytest.approx(0.0)
+    q = OffsetPoint(time=0.0, offset=0.0, truth=0.05)
+    assert q.error == pytest.approx(0.05)
+
+
+def test_offset_point_error_nan_without_truth():
+    p = OffsetPoint(time=0.0, offset=0.01)
+    assert math.isnan(p.error)
+
+
+def test_series_stats_empty():
+    s = SeriesStats.of([])
+    assert s.count == 0
+    assert s.rmse == 0.0
+
+
+def test_series_stats_values():
+    pts = [OffsetPoint(0.0, 0.03), OffsetPoint(1.0, -0.04)]
+    s = SeriesStats.of(pts)
+    assert s.count == 2
+    assert s.mean_abs == pytest.approx(0.035)
+    assert s.max_abs == pytest.approx(0.04)
+    assert s.rmse == pytest.approx(math.sqrt((0.03**2 + 0.04**2) / 2))
+
+
+def test_series_stats_error_mode_skips_missing_truth():
+    pts = [OffsetPoint(0.0, 0.03, truth=-0.03), OffsetPoint(1.0, 0.5)]
+    s = SeriesStats.of(pts, use_error=True)
+    assert s.count == 1
+    assert s.mean_abs == pytest.approx(0.0)
+
+
+def test_short_wired_run_collects_series():
+    runner = ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=False, ntp_correction=False),
+        duration=120.0,
+        sntp_cadence=5.0,
+    )
+    result = runner.run()
+    assert len(result.sntp) >= 20
+    assert len(result.true_offsets) >= 20
+    assert result.duration == 120.0
+
+
+def test_run_with_mntp_collects_reports():
+    runner = ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=True, ntp_correction=False),
+        duration=300.0,
+        mntp_config=MntpConfig.baseline_headtohead(),
+    )
+    result = runner.run()
+    assert result.mntp_reports
+    accepted = result.mntp_accepted()
+    assert accepted
+    # Truth stamped on every report.
+    assert all(p.truth == p.truth for p in accepted)
+
+
+def test_improvement_factor_positive():
+    runner = ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=True, ntp_correction=True),
+        duration=600.0,
+        mntp_config=MntpConfig.baseline_headtohead(),
+    )
+    result = runner.run()
+    assert result.improvement_factor() > 1.0
+
+
+def test_invalid_durations():
+    with pytest.raises(ValueError):
+        ExperimentRunner(duration=0.0)
+    with pytest.raises(ValueError):
+        ExperimentRunner(sntp_cadence=0.0)
+
+
+def test_no_sntp_mode():
+    runner = ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=False, ntp_correction=False),
+        duration=60.0,
+        run_sntp=False,
+    )
+    result = runner.run()
+    assert result.sntp == []

@@ -1,0 +1,67 @@
+"""Experiment result JSON persistence."""
+
+import io
+import math
+
+import pytest
+
+from repro.core.config import MntpConfig
+from repro.testbed.experiment import ExperimentRunner, OffsetPoint
+from repro.testbed.nodes import TestbedOptions
+from repro.testbed.persistence import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=True, ntp_correction=False),
+        duration=300.0,
+        mntp_config=MntpConfig.baseline_headtohead(),
+    ).run()
+
+
+def test_roundtrip_preserves_series(result):
+    buf = io.StringIO()
+    save_result(result, buf)
+    buf.seek(0)
+    loaded = load_result(buf)
+    assert loaded.duration == result.duration
+    assert loaded.sntp_failures == result.sntp_failures
+    assert [p.offset for p in loaded.sntp] == [p.offset for p in result.sntp]
+    assert [p.truth for p in loaded.sntp] == [p.truth for p in result.sntp]
+    assert len(loaded.mntp_reports) == len(result.mntp_reports)
+    for a, b in zip(loaded.mntp_reports, result.mntp_reports):
+        assert a.offset == b.offset
+        assert a.accepted == b.accepted
+        assert a.phase == b.phase
+        assert a.residual == b.residual
+
+
+def test_roundtrip_preserves_statistics(result):
+    buf = io.StringIO()
+    save_result(result, buf)
+    buf.seek(0)
+    loaded = load_result(buf)
+    assert loaded.sntp_stats().mean_abs == result.sntp_stats().mean_abs
+    assert loaded.mntp_error_stats().mean_abs == result.mntp_error_stats().mean_abs
+    assert loaded.improvement_factor() == result.improvement_factor()
+
+
+def test_missing_truth_roundtrips_as_nan():
+    from repro.testbed.experiment import ExperimentResult
+
+    r = ExperimentResult(duration=1.0)
+    r.sntp = [OffsetPoint(0.0, 0.5)]  # no truth
+    loaded = result_from_dict(result_to_dict(r))
+    assert math.isnan(loaded.sntp[0].truth)
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(ValueError):
+        result_from_dict({"format": "something-else"})

@@ -1,0 +1,50 @@
+"""Named scenarios registry."""
+
+import pytest
+
+from repro.testbed.scenarios import SCENARIOS, run_scenario
+
+
+EXPECTED = {
+    "wired_corrected",
+    "wired_uncorrected",
+    "wireless_corrected",
+    "wireless_uncorrected",
+    "mntp_wireless_corrected",
+    "mntp_wireless_uncorrected",
+    "mntp_longrun",
+    "mntp_falsetickers",
+}
+
+
+def test_all_scenarios_registered():
+    assert EXPECTED <= set(SCENARIOS)
+
+
+def test_scenario_metadata_consistent():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.duration > 0
+        assert scenario.description
+
+
+def test_mntp_scenarios_have_configs():
+    assert SCENARIOS["mntp_wireless_corrected"].mntp_config_factory is not None
+    assert SCENARIOS["wired_corrected"].mntp_config_factory is None
+
+
+def test_longrun_is_four_hours():
+    assert SCENARIOS["mntp_longrun"].duration == 4 * 3600.0
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        run_scenario("nope")
+
+
+def test_correction_flags_match_names():
+    assert SCENARIOS["wired_corrected"].options_factory().ntp_correction
+    assert not SCENARIOS["wired_uncorrected"].options_factory().ntp_correction
+    assert not SCENARIOS["wireless_uncorrected"].options_factory().ntp_correction
+    assert SCENARIOS["wired_corrected"].options_factory().wireless is False
+    assert SCENARIOS["wireless_corrected"].options_factory().wireless is True

@@ -1,0 +1,79 @@
+"""Statistical grounding of the channel processes.
+
+The OU shadowing and AR(1) fading are specified by stationary variances
+and correlation structure; these tests verify the simulated processes
+actually realise them (so calibration statements in DESIGN.md mean what
+they say).
+"""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import ChannelParams, WirelessChannel
+
+
+def _trajectory(seconds, seed=0, **params):
+    now = [0.0]
+    defaults = dict(interference_rate_hz=0.0, noise_jitter_db=0.0)
+    defaults.update(params)
+    ch = WirelessChannel(ChannelParams(**defaults),
+                         np.random.default_rng(seed), now_fn=lambda: now[0])
+    rssi = []
+    for t in range(1, seconds + 1):
+        now[0] = float(t)
+        rssi.append(ch.read_hints().rssi_dbm)
+    return np.asarray(rssi)
+
+
+def test_stationary_rssi_variance_matches_components():
+    """Var(rssi) = shadow sigma^2 + fading sigma^2 (independent sums)."""
+    shadow, fading = 3.0, 2.5
+    rssi = _trajectory(60_000, seed=1, shadow_sigma_db=shadow,
+                       fading_sigma_db=fading, shadow_tau_s=60.0)
+    expected = shadow**2 + fading**2
+    assert rssi.var() == pytest.approx(expected, rel=0.2)
+
+
+def test_fading_autocorrelation_matches_rho():
+    rho = 0.7
+    rssi = _trajectory(60_000, seed=2, shadow_sigma_db=0.0,
+                       fading_sigma_db=2.0, fading_rho=rho)
+    x = rssi - rssi.mean()
+    lag1 = float((x[:-1] * x[1:]).mean() / x.var())
+    assert lag1 == pytest.approx(rho, abs=0.05)
+
+
+def test_shadowing_correlation_time():
+    """OU autocorrelation at lag tau is 1/e."""
+    tau = 120.0
+    rssi = _trajectory(120_000, seed=3, shadow_sigma_db=3.0,
+                       fading_sigma_db=0.0, shadow_tau_s=tau)
+    x = rssi - rssi.mean()
+    lag = int(tau)
+    ac = float((x[:-lag] * x[lag:]).mean() / x.var())
+    assert ac == pytest.approx(np.exp(-1.0), abs=0.1)
+
+
+def test_interference_duty_cycle_matches_rates():
+    """Fraction of time in interference ~ rate * mean_duration
+    (for rate * duration << 1)."""
+    now = [0.0]
+    rate, duration = 1.0 / 300.0, 30.0
+    ch = WirelessChannel(
+        ChannelParams(interference_rate_hz=rate,
+                      interference_mean_duration_s=duration),
+        np.random.default_rng(4), now_fn=lambda: now[0],
+    )
+    active = 0
+    total = 200_000
+    for t in range(1, total + 1):
+        now[0] = float(t)
+        if ch.interference_active():
+            active += 1
+    expected = rate * duration / (1 + rate * duration)
+    assert active / total == pytest.approx(expected, rel=0.25)
+
+
+def test_mean_rssi_is_txpower_minus_pathloss():
+    rssi = _trajectory(20_000, seed=5, path_loss_db=45.0)
+    assert rssi.mean() == pytest.approx(-10.0 - 45.0, abs=0.5)

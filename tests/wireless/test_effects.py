@@ -1,0 +1,96 @@
+"""Channel-effects mapping: hints drive loss and delay."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import ChannelParams, WirelessChannel
+from repro.wireless.crosstraffic import CrossTrafficGenerator, CrossTrafficParams
+from repro.simcore import Simulator
+from repro.wireless.effects import ChannelEffects, EffectsParams
+
+
+def _fixed_channel(rssi=-50.0, noise=-92.0):
+    """A channel pinned to given hints (no dynamics)."""
+    now = [0.0]
+    params = ChannelParams(
+        path_loss_db=0.0,
+        shadow_sigma_db=0.0,
+        fading_sigma_db=0.0,
+        noise_jitter_db=0.0,
+        quiet_noise_dbm=noise,
+        interference_rate_hz=0.0,
+    )
+    ch = WirelessChannel(params, np.random.default_rng(0), now_fn=lambda: now[0])
+    ch.set_tx_power(rssi if rssi <= 0 else 0.0)
+    return ch
+
+
+def _stats(effects, n=3000):
+    lost = 0
+    delays = []
+    for _ in range(n):
+        e = effects.sample()
+        if e.lost:
+            lost += 1
+        else:
+            delays.append(e.extra_delay)
+    return lost / n, (np.mean(delays) if delays else float("inf"))
+
+
+def test_good_snr_low_loss_low_delay():
+    ch = _fixed_channel(rssi=-50.0, noise=-92.0)  # margin 42 dB
+    effects = ChannelEffects(ch, np.random.default_rng(1))
+    loss, mean_delay = _stats(effects)
+    assert loss < 0.01
+    assert mean_delay < 0.010
+
+
+def test_poor_snr_high_loss_high_delay():
+    ch = _fixed_channel(rssi=-22.0, noise=-30.0)  # margin 8 dB
+    effects = ChannelEffects(ch, np.random.default_rng(1))
+    loss, mean_delay = _stats(effects)
+    assert loss > 0.05
+    assert mean_delay > 0.010  # retransmission backoffs
+
+
+def test_loss_monotone_in_snr():
+    losses = []
+    for margin_noise in (-80.0, -55.0, -35.0):  # margins 80, 55, 35... then worse
+        ch = _fixed_channel(rssi=-20.0, noise=margin_noise)
+        effects = ChannelEffects(ch, np.random.default_rng(2))
+        loss, _ = _stats(effects, n=2000)
+        losses.append(loss)
+    assert losses == sorted(losses)
+
+
+def test_occupancy_adds_contention_delay():
+    sim = Simulator(seed=1)
+    ch = _fixed_channel()
+    xt = CrossTrafficGenerator(
+        sim, CrossTrafficParams(occupancy_during_download=0.8, occupancy_idle=0.0)
+    )
+    effects = ChannelEffects(ch, np.random.default_rng(3), cross_traffic=xt)
+    xt.downloading = False
+    _, idle_delay = _stats(effects, n=2000)
+    xt.downloading = True
+    _, busy_delay = _stats(effects, n=2000)
+    assert busy_delay > idle_delay * 3
+
+
+def test_retry_limit_bounds_delay():
+    ch = _fixed_channel(rssi=-20.0, noise=-25.0)  # terrible margin
+    params = EffectsParams(max_retries=2, retry_delay_s=0.01)
+    effects = ChannelEffects(ch, np.random.default_rng(4), params=params)
+    for _ in range(2000):
+        e = effects.sample()
+        if not e.lost:
+            # At most 2 retries at <= 0.015 s each plus jitter/queue.
+            assert e.extra_delay < 0.2
+
+
+def test_as_hook_returns_callable():
+    ch = _fixed_channel()
+    effects = ChannelEffects(ch, np.random.default_rng(5))
+    hook = effects.as_hook()
+    result = hook()
+    assert hasattr(result, "extra_delay")

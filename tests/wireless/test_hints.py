@@ -1,0 +1,31 @@
+"""WirelessHints and providers."""
+
+from repro.wireless.hints import ALWAYS_FAVORABLE, StaticHintProvider, WirelessHints
+
+
+def test_snr_margin():
+    hints = WirelessHints(rssi_dbm=-60.0, noise_dbm=-90.0)
+    assert hints.snr_margin_db == 30.0
+
+
+def test_static_provider_returns_fixed():
+    hints = WirelessHints(rssi_dbm=-50.0, noise_dbm=-95.0)
+    provider = StaticHintProvider(hints)
+    assert provider.read_hints() is hints
+    assert provider.read_hints() is hints
+
+
+def test_always_favorable_passes_paper_thresholds():
+    assert ALWAYS_FAVORABLE.rssi_dbm > -75.0
+    assert ALWAYS_FAVORABLE.noise_dbm < -70.0
+    assert ALWAYS_FAVORABLE.snr_margin_db >= 20.0
+
+
+def test_hints_frozen():
+    hints = WirelessHints(rssi_dbm=-60.0, noise_dbm=-90.0)
+    try:
+        hints.rssi_dbm = -10.0
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

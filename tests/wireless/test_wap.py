@@ -1,0 +1,54 @@
+"""AccessPoint power control commands."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import ChannelParams, WirelessChannel
+from repro.wireless.wap import AccessPoint
+
+
+def _wap():
+    now = [0.0]
+    ch = WirelessChannel(ChannelParams(), np.random.default_rng(0), now_fn=lambda: now[0])
+    return AccessPoint(ch)
+
+
+def test_set_clamps_to_range():
+    wap = _wap()
+    assert wap.set_tx_power(10.0) == 0.0
+    assert wap.set_tx_power(-99.0) == -30.0
+
+
+def test_step_up_down():
+    wap = _wap()
+    wap.set_tx_power(-15.0)
+    assert wap.increase_tx_power() == -12.0
+    assert wap.decrease_tx_power() == -15.0
+
+
+def test_steps_respect_bounds():
+    wap = _wap()
+    wap.set_tx_power(-29.0)
+    assert wap.decrease_tx_power() == -30.0
+    wap.set_tx_power(-1.0)
+    assert wap.increase_tx_power() == 0.0
+
+
+def test_command_counter():
+    wap = _wap()
+    wap.increase_tx_power()
+    wap.decrease_tx_power()
+    assert wap.commands_received == 2
+
+
+def test_power_reflected_in_channel():
+    wap = _wap()
+    wap.set_tx_power(-20.0)
+    assert wap.channel.tx_power_dbm == -20.0
+
+
+def test_invalid_range_rejected():
+    now = [0.0]
+    ch = WirelessChannel(ChannelParams(), np.random.default_rng(0), now_fn=lambda: now[0])
+    with pytest.raises(ValueError):
+        AccessPoint(ch, min_tx_dbm=0.0, max_tx_dbm=0.0)
