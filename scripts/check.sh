@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-shot verification gate: domain static analysis, ruff, mypy, and
+# the tier-1 test suite.  Intended for CI and as a pre-push check.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # skip the test suite
+#
+# ruff/mypy are optional extras (pip install -e ".[lint]"); when they
+# are not installed the corresponding step is skipped with a notice so
+# the gate still works in minimal environments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro-mntp lint (domain static analysis)"
+python -m repro.analysis src
+
+if python -m ruff --version >/dev/null 2>&1; then
+    echo "== ruff"
+    python -m ruff check src tests
+else
+    echo "== ruff: skipped (not installed; pip install -e '.[lint]')"
+fi
+
+if python -m mypy --version >/dev/null 2>&1; then
+    echo "== mypy"
+    python -m mypy
+else
+    echo "== mypy: skipped (not installed; pip install -e '.[lint]')"
+fi
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== pytest (tier-1)"
+    python -m pytest -x -q
+fi
+
+echo "== all checks passed"

@@ -1,0 +1,62 @@
+"""Domain-aware static analysis for the MNTP reproduction.
+
+Two invariants keep the experiments in this repository trustworthy, and
+neither is checked by the interpreter:
+
+* **Determinism** — every run must be bit-for-bit reproducible from its
+  root seed: no wall-clock reads inside the simulator, all randomness
+  through :class:`repro.simcore.random.RngRegistry` named streams.
+* **Time-unit safety** — a quantity declared in one unit (``_s``,
+  ``_ms``, ``_us``, ``_ns`` suffixes, NTP wire fixed-point) must never
+  silently meet a quantity in another.
+
+This package enforces both (plus a few generic correctness rules) as an
+AST-based lint, runnable as ``repro-mntp lint`` or
+``python -m repro.analysis``.  See ``docs/STATIC_ANALYSIS.md`` for the
+rule catalogue and the suppression/baseline workflow.
+"""
+
+from repro.analysis.baseline import (
+    BaselineMatch,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    AnalysisResult,
+    Engine,
+    Finding,
+    Rule,
+    SourceModule,
+    fingerprint_findings,
+    load_source,
+)
+from repro.analysis.reporting import render_human, render_json
+from repro.analysis.rules import all_rules
+
+
+def check_source(text, *, module="sample", path="<memory>", select=None,
+                 ignore=None):
+    """Analyse a source string with a fresh engine (test convenience)."""
+    return Engine(select=select, ignore=ignore).check_source(
+        text, path=path, module=module
+    )
+
+
+__all__ = [
+    "AnalysisResult",
+    "BaselineMatch",
+    "Engine",
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "check_source",
+    "fingerprint_findings",
+    "load_baseline",
+    "load_source",
+    "match_baseline",
+    "render_human",
+    "render_json",
+    "write_baseline",
+]

@@ -1,0 +1,92 @@
+"""Baseline files: accepted pre-existing findings.
+
+A baseline is a checked-in JSON list of finding fingerprints.  Findings
+whose fingerprint appears in the baseline do not fail the lint run, so
+a rule can be introduced (or tightened) without first fixing every
+historical violation — while any *new* violation still fails CI.
+
+Fingerprints deliberately exclude line numbers (see
+:data:`repro.analysis.engine.Fingerprint`), so unrelated edits that
+shift code do not invalidate the baseline; an *occurrence index*
+disambiguates identical findings within one file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from repro.analysis.engine import Finding, Fingerprint, fingerprint_findings
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass
+class BaselineMatch:
+    """Result of filtering findings through a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Fingerprint] = field(default_factory=list)  # baseline entries no run reproduced
+
+
+def load_baseline(path: Path) -> Set[Fingerprint]:
+    """Load fingerprints from ``path``; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_VERSION} analysis baseline"
+        )
+    prints: Set[Fingerprint] = set()
+    for entry in data.get("entries", []):
+        prints.add(
+            (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["message"]),
+                int(entry.get("occurrence", 0)),
+            )
+        )
+    return prints
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the fingerprints of ``findings`` as a fresh baseline."""
+    entries = [
+        {"rule": rule, "path": file_path, "message": message, "occurrence": occ}
+        for rule, file_path, message, occ in sorted(
+            fingerprint_findings(findings)
+        )
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def match_baseline(
+    findings: Sequence[Finding], baseline: Set[Fingerprint]
+) -> BaselineMatch:
+    """Split ``findings`` into new vs baselined; report stale entries."""
+    match = BaselineMatch()
+    seen: Set[Fingerprint] = set()
+    prints = fingerprint_findings(findings)
+    by_print = dict(zip(prints, sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )))
+    for fingerprint, finding in by_print.items():
+        if fingerprint in baseline:
+            match.baselined.append(finding)
+            seen.add(fingerprint)
+        else:
+            match.new.append(finding)
+    match.stale = sorted(baseline - seen)
+    return match

@@ -1,0 +1,132 @@
+"""The ``lint`` command implementation.
+
+Shared between ``repro-mntp lint`` (a subcommand of the main CLI) and
+``python -m repro.analysis`` (standalone), so both accept identical
+options and return identical exit codes:
+
+* 0 — no new findings (baselined findings do not fail the run),
+* 1 — at least one new finding or an unreadable file,
+* 2 — usage errors (unknown rule ids, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Engine
+from repro.analysis.reporting import render_human, render_json
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        dest="output_format", help="output format",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME}; "
+             "a missing file means an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every shipped rule and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    try:
+        engine = Engine(
+            select=_split(args.select), ignore=_split(args.ignore)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        from repro.analysis.rules import all_rules
+
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule_cls.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+
+    result = engine.check_paths(paths)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} to {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = set()
+    else:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    match = match_baseline(result.findings, baseline)
+
+    if args.output_format == "json":
+        print(render_json(result, match))
+    else:
+        print(render_human(result, match))
+    return 1 if (match.new or result.errors) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Domain-aware static analysis for the MNTP reproduction: "
+        "simulation determinism, time-unit safety, generic correctness.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]

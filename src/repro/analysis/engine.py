@@ -1,0 +1,286 @@
+"""The rule engine: source loading, visitor dispatch, suppressions.
+
+A :class:`Rule` is an :class:`ast.NodeVisitor` subclass instantiated
+fresh for every analysed module; the :class:`Engine` parses each file
+once and hands the tree to every enabled rule.  Findings carry a
+``file:line:col`` anchor plus a line-independent *fingerprint* used by
+the baseline machinery (see :mod:`repro.analysis.baseline`).
+
+Inline suppression follows the codebase convention::
+
+    t = time.time()  # repro: noqa[DET001] calibrating against the host clock
+
+A bare ``# repro: noqa`` (no rule list) suppresses every rule on that
+line.  Suppressions apply to the physical line the finding is anchored
+to.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa[RULE1,RULE2]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel meaning "every rule" in a noqa set.
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def anchor(self) -> str:
+        """``path:line:col`` string for terminals and editors."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """The canonical one-line human rendering."""
+        return f"{self.anchor()}: {self.rule} {self.message}"
+
+
+#: A line-independent identity for a finding: (rule, path, message,
+#: occurrence index among identical triples, ordered by line).  Stable
+#: across unrelated edits that merely shift line numbers.
+Fingerprint = Tuple[str, str, str, int]
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> List[Fingerprint]:
+    """Fingerprints for ``findings``, occurrence-indexed in line order."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    prints: List[Fingerprint] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (f.rule, f.path, f.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        prints.append((f.rule, f.path, f.message, index))
+    return prints
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the metadata rules need."""
+
+    path: str                    # display path (as reported in findings)
+    text: str
+    tree: ast.Module
+    module: Tuple[str, ...]      # dotted-module parts, e.g. ("repro", "ntp", "wire")
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def is_init(self) -> bool:
+        """Whether this file is a package ``__init__.py``."""
+        return self.path.endswith("__init__.py")
+
+    @property
+    def package(self) -> Optional[str]:
+        """Top-level sub-package under ``repro`` (e.g. ``"simcore"``)."""
+        if len(self.module) >= 2 and self.module[0] == "repro":
+            return self.module[1]
+        return None
+
+    def dotted(self) -> str:
+        """The dotted module name (``repro.ntp.wire``)."""
+        return ".".join(self.module)
+
+
+def _parse_noqa(text: str) -> Dict[int, Set[str]]:
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "repro:" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = {_ALL_RULES}
+        else:
+            table[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    return table
+
+
+def module_parts_for(path: Path) -> Tuple[str, ...]:
+    """Infer dotted-module parts from a filesystem path.
+
+    The convention is that everything under a ``repro`` directory is the
+    ``repro`` package (the repository keeps it under ``src/repro``).
+    Files outside any ``repro`` directory get a single-part module name,
+    which no package-scoped rule matches.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        mod = tuple(parts[parts.index("repro"):])
+    else:
+        mod = (parts[-1],) if parts else ()
+    if mod and mod[-1] == "__init__":
+        mod = mod[:-1] or ("repro",)
+    return mod
+
+
+def load_source(
+    path: Path,
+    display_path: Optional[str] = None,
+    module: Optional[Tuple[str, ...]] = None,
+) -> SourceModule:
+    """Read and parse ``path``; raises ``SyntaxError`` / ``OSError``."""
+    text = path.read_text(encoding="utf-8")
+    display = display_path if display_path is not None else _display(path)
+    tree = ast.parse(text, filename=display)
+    mod = module if module is not None else module_parts_for(path)
+    return SourceModule(
+        path=display, text=text, tree=tree, module=mod, noqa=_parse_noqa(text)
+    )
+
+
+def _display(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, then override
+    ``visit_*`` methods (or :meth:`run` for whole-module checks) and call
+    :meth:`report` for each diagnostic.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        """Visit the module tree and return the findings."""
+        self.visit(self.module.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule=self.rule_id,
+                path=self.module.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one engine run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)   # unreadable/unparsable files
+    files_checked: int = 0
+
+
+class Engine:
+    """Runs a set of rules over files, applying noqa suppressions."""
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> None:
+        from repro.analysis.rules import all_rules
+
+        registry = all_rules()
+        chosen = dict(registry)
+        if select:
+            wanted = {r.upper() for r in select}
+            unknown = wanted - set(registry)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+            chosen = {rid: cls for rid, cls in registry.items() if rid in wanted}
+        if ignore:
+            dropped = {r.upper() for r in ignore}
+            unknown = dropped - set(registry)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+            chosen = {rid: cls for rid, cls in chosen.items() if rid not in dropped}
+        self._rules = chosen
+
+    @property
+    def rule_ids(self) -> List[str]:
+        """Ids of the rules this engine runs, sorted."""
+        return sorted(self._rules)
+
+    def check_module(self, module: SourceModule) -> List[Finding]:
+        """Run every enabled rule over one parsed module."""
+        findings: List[Finding] = []
+        for rule_cls in self._rules.values():
+            findings.extend(rule_cls(module).run())
+        return [f for f in findings if not _suppressed(f, module)]
+
+    def check_source(
+        self,
+        text: str,
+        *,
+        path: str = "<memory>",
+        module: str = "sample",
+    ) -> List[Finding]:
+        """Analyse a source string (test/fixture convenience)."""
+        sm = SourceModule(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            module=tuple(module.split(".")),
+            noqa=_parse_noqa(text),
+        )
+        return self.check_module(sm)
+
+    def check_paths(self, paths: Sequence[Path]) -> AnalysisResult:
+        """Analyse files and directories (recursed for ``*.py``)."""
+        result = AnalysisResult()
+        for path in _collect_files(paths):
+            try:
+                module = load_source(path)
+            except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+                result.errors.append(f"{_display(path)}: {exc}")
+                continue
+            result.files_checked += 1
+            result.findings.extend(self.check_module(module))
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return result
+
+
+def _suppressed(finding: Finding, module: SourceModule) -> bool:
+    rules = module.noqa.get(finding.line)
+    if not rules:
+        return False
+    return _ALL_RULES in rules or finding.rule in rules
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            files.append(path)
+    return files

@@ -1,0 +1,54 @@
+"""Finding renderers: human-readable lines and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.baseline import BaselineMatch
+from repro.analysis.engine import AnalysisResult
+
+
+def render_human(result: AnalysisResult, match: BaselineMatch) -> str:
+    """One ``path:line:col: RULE message`` line per new finding + summary."""
+    lines: List[str] = [f.render() for f in match.new]
+    summary = (
+        f"{len(match.new)} finding{'s' if len(match.new) != 1 else ''} "
+        f"in {result.files_checked} file"
+        f"{'s' if result.files_checked != 1 else ''}"
+    )
+    if match.baselined:
+        summary += f" ({len(match.baselined)} baselined)"
+    lines.append(summary)
+    for rule, path, message, occurrence in match.stale:
+        lines.append(
+            f"stale baseline entry: {rule} {path} "
+            f"(occurrence {occurrence}): {message}"
+        )
+    lines.extend(f"error: {err}" for err in result.errors)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult, match: BaselineMatch) -> str:
+    """The full run as a JSON document (stable key order)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in match.new
+        ],
+        "baselined": len(match.baselined),
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message,
+             "occurrence": occurrence}
+            for rule, path, message, occurrence in match.stale
+        ],
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,43 @@
+"""Rule registry.
+
+Rules register themselves with the :func:`register` decorator at import
+time; :func:`all_rules` imports every rule module exactly once and
+returns the id -> class mapping the engine dispatches from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import Rule
+
+_REGISTRY: Dict[str, "Type[Rule]"] = {}
+_LOADED = False
+
+
+def register(rule_cls):
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, "Type[Rule]"]:
+    """Id -> class for every shipped rule, loading rule modules lazily."""
+    global _LOADED
+    if not _LOADED:
+        # Imported for their registration side effect only.
+        from repro.analysis.rules import correctness  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import determinism  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import units  # noqa: F401  # repro: noqa[COR004]
+
+        _LOADED = True
+    return dict(_REGISTRY)
+
+
+__all__ = ["register", "all_rules"]

@@ -1,0 +1,170 @@
+"""Determinism rules.
+
+Every experiment must be bit-for-bit reproducible from its root seed.
+That breaks the moment simulation code reads the wall clock or draws
+from a globally-seeded RNG, so these rules forbid both at the source
+level — all randomness is required to flow through
+:class:`repro.simcore.random.RngRegistry` named streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.rules import register
+from repro.analysis.rules.base import ImportMap
+
+#: Sub-packages of ``repro`` that execute inside the simulator and must
+#: never observe host time.
+SIMULATION_PACKAGES = frozenset({"simcore", "core", "ntp", "wireless", "clock"})
+
+#: Canonical dotted names that read the host clock or block on it.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.sleep",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy numpy global-state RNG entry points (seeded process-wide, so a
+#: draw in one component perturbs every other component's sequence).
+NUMPY_GLOBAL_RNG_CALLS = frozenset(
+    {
+        "numpy.random.seed",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.ranf",
+        "numpy.random.sample",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.normal",
+        "numpy.random.uniform",
+        "numpy.random.exponential",
+        "numpy.random.standard_normal",
+        "numpy.random.get_state",
+        "numpy.random.set_state",
+    }
+)
+
+#: The one module allowed to construct RNG machinery directly.
+RNG_HOME = ("repro", "simcore", "random")
+
+
+class _ImportAwareRule(Rule):
+    """A rule that resolves call targets through the module's imports."""
+
+    def run(self) -> List[Finding]:
+        """Collect the module's imports, then visit the tree."""
+        self._imports = ImportMap(self.module.tree)
+        self.visit(self.module.tree)
+        return self.findings
+
+
+@register
+class WallClockRule(_ImportAwareRule):
+    """Forbid host-clock reads inside simulation packages."""
+
+    rule_id = "DET001"
+    summary = (
+        "no wall-clock reads (time.time/monotonic/sleep, datetime.now) in "
+        "simulation packages; simulated time comes from Simulator.now"
+    )
+
+    def run(self) -> List[Finding]:
+        """Only simulation packages are in scope for this rule."""
+        if self.module.package not in SIMULATION_PACKAGES:
+            return []
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag calls that resolve to a host-clock function."""
+        dotted = self._imports.resolve(node.func)
+        if dotted in WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock call {dotted}() inside simulation package "
+                f"'{self.module.package}'; use the simulator's virtual time",
+            )
+        self.generic_visit(node)
+
+
+@register
+class StdlibRandomRule(_ImportAwareRule):
+    """Forbid the globally-seeded stdlib ``random`` module everywhere."""
+
+    rule_id = "DET002"
+    summary = (
+        "no stdlib random.* calls; draw from a named RngRegistry stream "
+        "so runs stay seed-reproducible and streams stay isolated"
+    )
+
+    def run(self) -> List[Finding]:
+        """Everywhere is in scope except RngRegistry's own module."""
+        if self.module.module == RNG_HOME:
+            return []
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag any call that resolves into the stdlib random module."""
+        dotted = self._imports.resolve(node.func)
+        if dotted is not None and (
+            dotted == "random" or dotted.startswith("random.")
+        ):
+            self.report(
+                node,
+                f"stdlib random call {dotted}() uses hidden global state; "
+                "use RngRegistry.stream(name) instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class NumpyGlobalRngRule(_ImportAwareRule):
+    """Forbid numpy global-state RNG and unseeded ``default_rng()``."""
+
+    rule_id = "DET003"
+    summary = (
+        "no numpy.random global-state calls and no unseeded "
+        "default_rng(); RNG streams come from RngRegistry"
+    )
+
+    def run(self) -> List[Finding]:
+        """Everywhere is in scope except RngRegistry's own module."""
+        if self.module.module == RNG_HOME:
+            return []
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag numpy global-state RNG and unseeded default_rng()."""
+        dotted = self._imports.resolve(node.func)
+        if dotted == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "unseeded numpy.random.default_rng() draws OS entropy; "
+                    "seed it from an RngRegistry stream",
+                )
+        elif dotted in NUMPY_GLOBAL_RNG_CALLS:
+            self.report(
+                node,
+                f"numpy global-state RNG call {dotted}(); "
+                "use a Generator from RngRegistry.stream(name)",
+            )
+        self.generic_visit(node)

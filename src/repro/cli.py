@@ -10,6 +10,7 @@ Exposes the main experiment flows without writing code::
     repro-mntp autotune --target-ms 8        # self-tuning pass
     repro-mntp run X --save run.json         # archive a run
     repro-mntp replay run.json               # summarise an archived run
+    repro-mntp lint src                      # domain static analysis
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.cellular import CellularExperiment, CellularOptions
 from repro.core.config import TABLE2_CONFIGS
 from repro.logs import LogStudy
@@ -80,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     autotune.add_argument("--hours", type=float, default=4.0)
     autotune.add_argument("--target-ms", type=float, default=10.0)
     autotune.add_argument("--budget-per-hour", type=float, default=None)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro static-analysis rules (determinism, time-unit "
+        "safety); see docs/STATIC_ANALYSIS.md",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -103,6 +112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_autotune(args)
     if command == "calibrate":
         return _cmd_calibrate(args)
+    if command == "lint":
+        return run_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

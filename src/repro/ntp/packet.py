@@ -24,7 +24,7 @@ exactly that shape, which is also what the log-study classifier keys on.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.ntp.constants import LeapIndicator, Mode, NTP_HEADER_LEN, Version

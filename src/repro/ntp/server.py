@@ -24,8 +24,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.clock.simclock import SimClock
 from repro.net.message import Datagram
 from repro.ntp.constants import LeapIndicator, Mode

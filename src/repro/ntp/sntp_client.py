@@ -12,7 +12,7 @@ same sanity check real SNTP clients perform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.clock.simclock import SimClock
 from repro.net.message import Datagram

@@ -8,7 +8,7 @@ numbers EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 

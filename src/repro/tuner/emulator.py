@@ -22,7 +22,7 @@ metric (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.config import MntpConfig
 from repro.core.falsetickers import reject_false_tickers

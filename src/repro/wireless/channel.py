@@ -137,7 +137,7 @@ class WirelessChannel:
         # Interference episodes.
         if self._intf_remaining_s > 0:
             self._intf_remaining_s = max(0.0, self._intf_remaining_s - dt)
-            if self._intf_remaining_s == 0.0:
+            if self._intf_remaining_s <= 0.0:
                 self._intf_rssi_dip_db = 0.0
                 self._intf_noise_lift_db = 0.0
         else:

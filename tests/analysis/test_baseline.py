@@ -1,0 +1,80 @@
+"""Baseline round-trip, matching, and the shipped-baseline meta-test."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Engine,
+    Finding,
+    fingerprint_findings,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+FINDINGS = [
+    Finding("DET001", "src/repro/simcore/x.py", 10, 5, "wall-clock call"),
+    Finding("COR004", "src/repro/ntp/y.py", 3, 1, "import 'os' is never used"),
+]
+
+
+def test_write_then_load_round_trips(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, FINDINGS)
+    assert load_baseline(path) == set(fingerprint_findings(FINDINGS))
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == set()
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)
+
+
+def test_match_splits_new_baselined_and_stale(tmp_path):
+    path = tmp_path / "baseline.json"
+    stale_finding = Finding("UNIT001", "src/gone.py", 1, 1, "mixed units")
+    write_baseline(path, [FINDINGS[0], stale_finding])
+    baseline = load_baseline(path)
+
+    match = match_baseline(FINDINGS, baseline)
+    assert [f.rule for f in match.new] == ["COR004"]
+    assert [f.rule for f in match.baselined] == ["DET001"]
+    assert [entry[0] for entry in match.stale] == ["UNIT001"]
+
+
+def test_baselined_findings_survive_line_shifts():
+    baseline = set(fingerprint_findings(FINDINGS))
+    shifted = [
+        Finding(f.rule, f.path, f.line + 40, f.col, f.message)
+        for f in FINDINGS
+    ]
+    match = match_baseline(shifted, baseline)
+    assert match.new == []
+    assert len(match.baselined) == 2
+    assert match.stale == []
+
+
+def test_shipped_baseline_matches_fresh_run(monkeypatch):
+    """Meta-test: ``analysis-baseline.json`` must equal a fresh lint run.
+
+    Guards against two rots: someone fixing a baselined finding without
+    removing its entry (stale), and someone introducing a finding and
+    not noticing because local runs used a dirty baseline (new).
+    """
+    monkeypatch.chdir(REPO_ROOT)
+    result = Engine().check_paths([Path("src")])
+    assert result.errors == []
+    fresh = set(fingerprint_findings(result.findings))
+    shipped = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    assert fresh == shipped, (
+        "analysis-baseline.json is out of date; run "
+        "'repro-mntp lint src --write-baseline' and review the diff"
+    )

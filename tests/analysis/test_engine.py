@@ -1,0 +1,120 @@
+"""Engine mechanics: suppressions, fingerprints, rule selection."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Engine, Finding, check_source, fingerprint_findings
+from repro.analysis.engine import module_parts_for
+
+WALL_CLOCK_SRC = """\
+import time
+
+def now():
+    return time.time()
+"""
+
+
+def test_finding_renders_with_anchor():
+    f = Finding("DET001", "src/x.py", 4, 12, "no wall clock")
+    assert f.anchor() == "src/x.py:4:12"
+    assert f.render() == "src/x.py:4:12: DET001 no wall clock"
+
+
+def test_inline_noqa_with_rule_suppresses():
+    src = WALL_CLOCK_SRC.replace(
+        "return time.time()",
+        "return time.time()  # repro: noqa[DET001] host calibration",
+    )
+    assert check_source(src, module="repro.simcore.clocksource") == []
+
+
+def test_inline_noqa_bare_suppresses_everything():
+    src = WALL_CLOCK_SRC.replace(
+        "return time.time()", "return time.time()  # repro: noqa"
+    )
+    assert check_source(src, module="repro.simcore.clocksource") == []
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    src = WALL_CLOCK_SRC.replace(
+        "return time.time()", "return time.time()  # repro: noqa[COR001]"
+    )
+    findings = check_source(src, module="repro.simcore.clocksource")
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_noqa_on_different_line_does_not_suppress():
+    src = "# repro: noqa[DET001]\n" + WALL_CLOCK_SRC
+    findings = check_source(src, module="repro.simcore.clocksource")
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_select_runs_only_chosen_rules():
+    src = "import os\n" + WALL_CLOCK_SRC  # os unused -> COR004
+    only_det = check_source(
+        src, module="repro.simcore.clocksource", select=["DET001"]
+    )
+    assert [f.rule for f in only_det] == ["DET001"]
+
+
+def test_ignore_drops_rules():
+    src = "import os\n" + WALL_CLOCK_SRC
+    findings = check_source(
+        src, module="repro.simcore.clocksource", ignore=["COR004"]
+    )
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_unknown_rule_ids_rejected():
+    with pytest.raises(ValueError, match="NOPE999"):
+        Engine(select=["NOPE999"])
+    with pytest.raises(ValueError, match="NOPE999"):
+        Engine(ignore=["NOPE999"])
+
+
+def test_fingerprints_are_line_independent_with_occurrence_index():
+    first = [
+        Finding("COR004", "a.py", 3, 1, "import 'os' is never used"),
+        Finding("COR004", "a.py", 9, 1, "import 'os' is never used"),
+    ]
+    shifted = [
+        Finding("COR004", "a.py", 13, 1, "import 'os' is never used"),
+        Finding("COR004", "a.py", 29, 1, "import 'os' is never used"),
+    ]
+    assert fingerprint_findings(first) == fingerprint_findings(shifted)
+    assert fingerprint_findings(first) == [
+        ("COR004", "a.py", "import 'os' is never used", 0),
+        ("COR004", "a.py", "import 'os' is never used", 1),
+    ]
+
+
+def test_module_parts_inferred_from_repro_directory():
+    assert module_parts_for(Path("src/repro/ntp/wire.py")) == (
+        "repro", "ntp", "wire",
+    )
+    assert module_parts_for(Path("src/repro/simcore/__init__.py")) == (
+        "repro", "simcore",
+    )
+    assert module_parts_for(Path("scratch/tool.py")) == ("tool",)
+
+
+def test_check_paths_records_unparsable_files(tmp_path):
+    good = tmp_path / "repro" / "simcore" / "ok.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    bad = tmp_path / "repro" / "simcore" / "broken.py"
+    bad.write_text("def :(\n")
+    result = Engine().check_paths([tmp_path])
+    assert result.files_checked == 1
+    assert [f.rule for f in result.findings] == ["DET001"]
+    assert len(result.errors) == 1
+    assert "broken.py" in result.errors[0]
+
+
+def test_check_paths_accepts_single_file(tmp_path):
+    target = tmp_path / "repro" / "clock" / "osc.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(WALL_CLOCK_SRC)
+    result = Engine().check_paths([target])
+    assert [f.rule for f in result.findings] == ["DET001"]

@@ -128,3 +128,18 @@ def test_occupancy_lifts_noise_floor():
     assert busy == pytest.approx(quiet + 12.0, abs=1e-9)
     ch.occupancy_fn = lambda: 5.0  # clamped to 1.0
     assert ch.read_hints().noise_dbm == pytest.approx(quiet + 15.0, abs=1e-9)
+
+
+def test_interference_episode_clears_exactly_when_time_runs_out():
+    """Regression: episode strengths must reset the moment the remaining
+    time is exhausted, even when the duration is not a tick multiple."""
+    now = [0.0]
+    ch = _channel(now, interference_rate_hz=0.0)
+    ch._intf_remaining_s = 2.5
+    ch._intf_rssi_dip_db = 10.0
+    ch._intf_noise_lift_db = 12.0
+    for _ in range(3):  # 2.5 s of episode consumed in 1 s ticks
+        ch._step_once(ch.params.tick_s)
+    assert ch._intf_remaining_s == 0.0
+    assert ch._intf_rssi_dip_db == 0.0
+    assert ch._intf_noise_lift_db == 0.0
