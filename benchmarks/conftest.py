@@ -1,10 +1,60 @@
-"""Benchmark-suite fixtures.
+"""Benchmark-suite fixtures and the bench-trajectory hook.
 
 ``report`` prints through pytest's capture so the regenerated
 tables/series reach the terminal (and any ``tee``) even without ``-s``.
+
+When ``REPRO_BENCH_OBS`` names a file, every collected ``bench_*`` item
+is wall-clock timed (per bench module, repeats accumulate) and the
+totals are written there as JSON at session end — the payload
+``scripts/bench.py`` turns into ``BENCH_obs.json`` and regression
+verdicts.
 """
 
+import json
+import os
+
 import pytest
+
+#: Format tag of the per-module timing document.
+BENCH_FORMAT = "mntp-bench-v1"
+
+_timer = None
+
+
+def pytest_configure(config):
+    """Arm the bench timer when REPRO_BENCH_OBS names an output file."""
+    global _timer
+    if os.environ.get("REPRO_BENCH_OBS"):
+        from repro.obs import RunTimer
+
+        _timer = RunTimer()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    """Time each bench item under its module's name."""
+    if _timer is None:
+        yield
+        return
+    name = item.module.__name__.rsplit(".", 1)[-1]
+    with _timer.measure(name):
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the accumulated per-module timings as JSON."""
+    if _timer is None:
+        return
+    path = os.environ["REPRO_BENCH_OBS"]
+    document = {
+        "format": BENCH_FORMAT,
+        "benches": {k: round(v, 6) for k, v in _timer.results().items()},
+        "total_seconds": round(_timer.total(), 6),
+        "exit_status": int(exitstatus),
+    }
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 @pytest.fixture

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Bench-trajectory harness.
+
+Runs the ``benchmarks/`` suite with the ``REPRO_BENCH_OBS`` timing hook
+armed (see ``benchmarks/conftest.py``), writes the per-module wall-clock
+totals to ``BENCH_obs.json``, and compares them against the recorded
+baseline (``benchmarks/bench-baseline.json``)::
+
+    python scripts/bench.py                  # full suite
+    python scripts/bench.py --smoke          # fast subset (CI gate)
+    python scripts/bench.py --update-baseline
+
+Exit codes: 0 all benches within tolerance, 1 a bench regressed or the
+timing document could not be produced, 2 usage errors.
+
+A bench "regresses" when its wall time exceeds
+``baseline * (1 + tolerance) + floor``; the absolute floor absorbs
+scheduler noise on very fast benches so sub-second jitter does not turn
+into false alarms across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_OUT = REPO_ROOT / "BENCH_obs.json"
+DEFAULT_BASELINE = BENCH_DIR / "bench-baseline.json"
+BENCH_FORMAT = "mntp-bench-v1"
+
+#: The fast subset exercised by ``--smoke`` (seconds each, not minutes).
+SMOKE_BENCHES = (
+    "bench_fig4_sntp_wired_wireless.py",
+    "bench_fig7_signals_selection.py",
+    "bench_table2_tuner_configs.py",
+)
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the fast smoke subset")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="timing document to write (BENCH_obs.json)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="recorded baseline to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    parser.add_argument("--floor", type=float, default=0.25,
+                        help="absolute slack in seconds (default 0.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the measured times as the new baseline")
+    return parser.parse_args(argv)
+
+
+def _run_pytest(targets: List[str], out: Path) -> int:
+    """Run the bench suite with the timing hook armed."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_OBS"] = str(out)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_ROOT / "src")
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", *targets]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    return proc.returncode
+
+
+def _load_document(path: Path) -> Dict[str, float]:
+    with open(path) as f:
+        document = json.load(f)
+    if document.get("format") != BENCH_FORMAT:
+        raise ValueError(f"{path} is not a {BENCH_FORMAT} document")
+    return {str(k): float(v) for k, v in document["benches"].items()}
+
+
+def _compare(
+    measured: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+    floor: float,
+) -> List[str]:
+    """Human-readable regression verdicts; empty means all clear."""
+    failures: List[str] = []
+    for name, seconds in sorted(measured.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name}: {seconds:.2f}s (no baseline — recorded new)")
+            continue
+        limit = base * (1.0 + tolerance) + floor
+        verdict = "ok" if seconds <= limit else "REGRESSED"
+        print(f"  {name}: {seconds:.2f}s vs baseline {base:.2f}s "
+              f"(limit {limit:.2f}s) {verdict}")
+        if seconds > limit:
+            failures.append(
+                f"{name}: {seconds:.2f}s exceeds {limit:.2f}s "
+                f"({base:.2f}s baseline, +{tolerance:.0%} +{floor}s)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    if args.smoke:
+        targets = [str(BENCH_DIR / name) for name in SMOKE_BENCHES]
+        missing = [t for t in targets if not Path(t).exists()]
+        if missing:
+            print(f"smoke benches missing: {missing}", file=sys.stderr)
+            return 2
+    else:
+        targets = [str(BENCH_DIR)]
+
+    rc = _run_pytest(targets, args.out)
+    if not args.out.exists():
+        print(f"bench run produced no {args.out} (pytest exit {rc})",
+              file=sys.stderr)
+        return 1
+    try:
+        measured = _load_document(args.out)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read {args.out}: {exc}", file=sys.stderr)
+        return 1
+    if rc != 0:
+        print(f"bench suite failed (pytest exit {rc})", file=sys.stderr)
+        return 1
+    if not measured:
+        print("bench run recorded no timings", file=sys.stderr)
+        return 1
+    print(f"bench timings written to {args.out}")
+
+    if args.update_baseline:
+        baseline = _load_document(args.baseline) if args.baseline.exists() else {}
+        baseline.update(measured)
+        with open(args.baseline, "w") as f:
+            json.dump(
+                {"format": BENCH_FORMAT, "benches": baseline},
+                f, indent=2, sort_keys=True,
+            )
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update-baseline "
+              "to record one")
+        return 0
+    try:
+        baseline = _load_document(args.baseline)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 1
+    failures = _compare(measured, baseline, args.tolerance, args.floor)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print("all benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@ fi
 if [[ "${1:-}" != "--fast" ]]; then
     echo "== pytest (tier-1)"
     python -m pytest -x -q
+
+    echo "== bench harness (smoke)"
+    # Fails if BENCH_obs.json cannot be produced or any smoke bench
+    # regresses >25% against benchmarks/bench-baseline.json.
+    python scripts/bench.py --smoke
 fi
 
 echo "== all checks passed"

@@ -34,6 +34,7 @@ def all_rules() -> Dict[str, "Type[Rule]"]:
         # Imported for their registration side effect only.
         from repro.analysis.rules import correctness  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import determinism  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import observability  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import units  # noqa: F401  # repro: noqa[COR004]
 
         _LOADED = True

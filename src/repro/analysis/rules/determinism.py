@@ -18,7 +18,9 @@ from repro.analysis.rules.base import ImportMap
 
 #: Sub-packages of ``repro`` that execute inside the simulator and must
 #: never observe host time.
-SIMULATION_PACKAGES = frozenset({"simcore", "core", "ntp", "wireless", "clock"})
+SIMULATION_PACKAGES = frozenset(
+    {"simcore", "core", "ntp", "wireless", "clock", "obs"}
+)
 
 #: Canonical dotted names that read the host clock or block on it.
 WALL_CLOCK_CALLS = frozenset(

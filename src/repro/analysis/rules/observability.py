@@ -1,0 +1,60 @@
+"""Observability rules.
+
+Library code must not talk to stdout directly: anything worth printing
+is worth recording — as a metric, a span, or a trace record the
+exporters in :mod:`repro.obs` can replay.  Bare ``print(`` calls in
+library packages bypass that substrate and are invisible to telemetry
+consumers, so :class:`BarePrintRule` flags them.  The CLI, the analysis
+framework, and the text-rendering helpers are the repo's sanctioned
+stdout surfaces and stay exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.rules import register
+
+#: ``repro`` sub-packages whose whole purpose is terminal output.
+STDOUT_PACKAGES = frozenset({"analysis", "reporting"})
+
+#: Fully-dotted modules allowed to print (the CLI entry point).
+STDOUT_MODULES = frozenset({"repro.cli"})
+
+
+@register
+class BarePrintRule(Rule):
+    """Forbid bare ``print(`` in library packages."""
+
+    rule_id = "OBS001"
+    summary = (
+        "no print() in library packages; emit a metric, span, or trace "
+        "record (repro.obs) so output is structured and exportable"
+    )
+
+    def run(self) -> List[Finding]:
+        """Only ``repro`` library modules are in scope.
+
+        ``repro.cli``, ``repro.analysis`` and ``repro.reporting`` are
+        the sanctioned stdout surfaces; scripts, tests and benchmarks
+        live outside the ``repro`` package and are never matched.
+        """
+        if len(self.module.module) < 2 or self.module.module[0] != "repro":
+            return []
+        if self.module.package in STDOUT_PACKAGES:
+            return []
+        if self.module.dotted() in STDOUT_MODULES:
+            return []
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag calls to the ``print`` builtin."""
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.report(
+                node,
+                f"print() in library module '{self.module.dotted()}'; "
+                "route output through repro.obs telemetry or the CLI layer",
+            )
+        self.generic_visit(node)

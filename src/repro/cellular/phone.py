@@ -16,12 +16,12 @@ SNTP offsets of Figure 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.cellular.ran import RadioAccessNetwork, RanParams
 from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
 from repro.clock.simclock import SimClock
-from repro.net.message import Datagram
+from repro.net.message import Datagram, reset_datagram_ids
 from repro.ntp.pool import PoolDns
 from repro.ntp.server import NtpServer, ServerConfig
 from repro.ntp.sntp_client import SntpClient, SntpResult
@@ -101,6 +101,9 @@ class CellularExperiment:
     def run(self) -> "CellularResult":
         """Execute and return the SNTP offset series."""
         opts = self.options
+        # Datagram idents appear in exported trace records; restart the
+        # sequence so same-seed runs in one process stay byte-identical.
+        reset_datagram_ids()
         sim = Simulator(seed=self.seed)
         ran = RadioAccessNetwork(opts.ran, sim.rng.stream("ran"), lambda: sim.now)
         phone_clock = SimClock(
@@ -152,6 +155,16 @@ class CellularExperiment:
             server.send_reply = reply
 
         result = CellularResult(duration=opts.duration)
+        queries = sim.telemetry.metrics.counter(
+            "sntp_queries_total", "SNTP requests issued by the phone app"
+        )
+        failures = sim.telemetry.metrics.counter(
+            "sntp_query_failures_total",
+            "phone SNTP queries with no usable response",
+        )
+        fixes = sim.telemetry.metrics.counter(
+            "gps_fixes_total", "GPS clock corrections applied"
+        )
 
         def poll() -> None:
             if sim.now >= opts.duration:
@@ -165,7 +178,9 @@ class CellularExperiment:
                     )
                 else:
                     result.failures += 1
+                    failures.inc()
 
+            queries.inc()
             client.query("0.pool.ntp.org", on_result, timeout=3.0)
             sim.call_after(opts.cadence, poll, label="phone:poll")
 
@@ -175,18 +190,25 @@ class CellularExperiment:
         gps.stop()
         result.promotions = ran.promotions
         result.gps_fixes = gps.fixes
+        fixes.inc(gps.fixes)
+        result.telemetry = sim.telemetry.snapshot()
         return result
 
 
 @dataclass
 class CellularResult:
-    """Series and counters from one phone run."""
+    """Series and counters from one phone run.
+
+    ``telemetry`` holds the run's frozen
+    :meth:`repro.obs.Telemetry.snapshot` (metrics + trace records).
+    """
 
     offsets: List[OffsetPoint] = field(default_factory=list)
     failures: int = 0
     promotions: int = 0
     gps_fixes: int = 0
     duration: float = 0.0
+    telemetry: Optional[Dict[str, Any]] = None
 
     def stats(self) -> SeriesStats:
         """Summary of the reported SNTP offsets."""

@@ -9,15 +9,22 @@ Exposes the main experiment flows without writing code::
     repro-mntp tune --save trace.jsonl       # tuner trace + Table 2
     repro-mntp autotune --target-ms 8        # self-tuning pass
     repro-mntp run X --save run.json         # archive a run
+    repro-mntp run X --telemetry out.jsonl   # export run telemetry
     repro-mntp replay run.json               # summarise an archived run
+    repro-mntp trace run.json                # inspect archived telemetry
+    repro-mntp metrics run.json              # Prometheus-format metrics
     repro-mntp lint src                      # domain static analysis
+
+Summaries print as tables by default; ``--json`` on ``run``, ``replay``
+and ``cellular`` emits machine-readable JSON instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.cellular import CellularExperiment, CellularOptions
@@ -51,9 +58,37 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("scenario", choices=sorted(SCENARIOS))
     run.add_argument("--save", metavar="PATH",
                      help="archive the result as JSON")
+    run.add_argument("--telemetry", metavar="PATH",
+                     help="export the run's telemetry as JSONL")
+    run.add_argument("--json", action="store_true",
+                     help="print the summary as JSON instead of tables")
 
     replay = sub.add_parser("replay", help="summarise an archived run")
     replay.add_argument("path", help="JSON file written by 'run --save'")
+    replay.add_argument("--json", action="store_true",
+                        help="print the summary as JSON instead of tables")
+
+    trace = sub.add_parser(
+        "trace", help="inspect the telemetry of an archived run"
+    )
+    trace.add_argument("path", help="JSON file written by 'run --save'")
+    trace.add_argument("--chrome", metavar="PATH",
+                       help="export as Chrome trace-event JSON "
+                       "(chrome://tracing / Perfetto)")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="re-export the telemetry as JSONL")
+    trace.add_argument("--component", help="show only this component")
+    trace.add_argument("--kind", help="show only this record kind")
+    trace.add_argument("--limit", type=int, default=20,
+                       help="max records to print (default 20)")
+
+    metrics = sub.add_parser(
+        "metrics", help="metrics of a run in Prometheus text format"
+    )
+    metrics.add_argument(
+        "path", nargs="?", default=None,
+        help="archived run (default: simulate mntp_wireless_corrected)",
+    )
 
     logstudy = sub.add_parser("logstudy", help="the §3.1 server-log study")
     logstudy.add_argument(
@@ -69,11 +104,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write each server's synthetic trace as a .pcap file",
     )
 
-    sub.add_parser("cellular", help="the §3.3 4G phone experiment (Fig 5)")
+    cellular = sub.add_parser(
+        "cellular", help="the §3.3 4G phone experiment (Fig 5)"
+    )
+    cellular.add_argument("--telemetry", metavar="PATH",
+                          help="export the run's telemetry as JSONL")
+    cellular.add_argument("--json", action="store_true",
+                          help="print the summary as JSON instead of tables")
 
     tune = sub.add_parser("tune", help="log a trace and print Table 2")
     tune.add_argument("--hours", type=float, default=4.0)
     tune.add_argument("--save", metavar="PATH", help="save the trace (JSONL)")
+    tune.add_argument("--telemetry", metavar="PATH",
+                      help="export search telemetry as JSONL")
 
     sub.add_parser("calibrate",
                    help="check channel calibration against Figure-4 targets")
@@ -82,6 +125,8 @@ def _build_parser() -> argparse.ArgumentParser:
     autotune.add_argument("--hours", type=float, default=4.0)
     autotune.add_argument("--target-ms", type=float, default=10.0)
     autotune.add_argument("--budget-per-hour", type=float, default=None)
+    autotune.add_argument("--telemetry", metavar="PATH",
+                          help="export tuning telemetry as JSONL")
 
     lint = sub.add_parser(
         "lint",
@@ -102,6 +147,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if command == "replay":
         return _cmd_replay(args)
+    if command == "trace":
+        return _cmd_trace(args)
+    if command == "metrics":
+        return _cmd_metrics(args)
     if command == "logstudy":
         return _cmd_logstudy(args)
     if command == "cellular":
@@ -134,6 +183,11 @@ def _cmd_run(args) -> int:
         with open(args.save, "w") as f:
             save_result(result, f)
         print(f"result archived to {args.save}")
+    if getattr(args, "telemetry", None):
+        _write_telemetry(result.telemetry, args.telemetry)
+    if getattr(args, "json", False):
+        print(json.dumps(_summary_dict(result), sort_keys=True, indent=2))
+        return 0
     return _summarise(result)
 
 
@@ -146,7 +200,52 @@ def _cmd_replay(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot load {args.path}: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "json", False):
+        print(json.dumps(_summary_dict(result), sort_keys=True, indent=2))
+        return 0
     return _summarise(result)
+
+
+def _write_telemetry(snapshot, path: str) -> None:
+    from repro.obs import write_jsonl
+
+    if snapshot is None:
+        print("no telemetry captured for this run", file=sys.stderr)
+        return
+    with open(path, "w") as f:
+        lines = write_jsonl(snapshot, f)
+    print(f"telemetry ({lines} lines) written to {path}")
+
+
+def _stats_dict(stats) -> Dict[str, Any]:
+    return {
+        "count": stats.count,
+        "mean_abs_ms": stats.mean_abs * 1000,
+        "std_abs_ms": stats.std_abs * 1000,
+        "max_abs_ms": stats.max_abs * 1000,
+        "rmse_ms": stats.rmse * 1000,
+    }
+
+
+def _summary_dict(result) -> Dict[str, Any]:
+    from repro.obs import snapshot_metric_names, snapshot_span_kinds
+
+    out: Dict[str, Any] = {
+        "duration": result.duration,
+        "sntp": _stats_dict(result.sntp_error_stats()),
+        "sntp_failures": result.sntp_failures,
+    }
+    if result.mntp_reports:
+        out["mntp"] = _stats_dict(result.mntp_error_stats())
+        out["mntp_reports"] = len(result.mntp_reports)
+        out["improvement_factor"] = result.improvement_factor()
+    if result.telemetry is not None:
+        out["telemetry"] = {
+            "metric_names": snapshot_metric_names(result.telemetry),
+            "span_kinds": snapshot_span_kinds(result.telemetry),
+            "record_count": len(result.telemetry.get("records", [])),
+        }
+    return out
 
 
 def _summarise(result) -> int:
@@ -165,6 +264,84 @@ def _summarise(result) -> int:
             [p.offset for p in result.mntp_accepted()], label="MNTP"
         ))
         print(f"improvement: {result.improvement_factor():.1f}x")
+    return 0
+
+
+def _load_archived_telemetry(path: str):
+    """Telemetry snapshot out of an archived run (None + message if absent)."""
+    from repro.testbed.persistence import load_result
+
+    try:
+        with open(path) as f:
+            result = load_result(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+    if result.telemetry is None:
+        print(f"{path} has no telemetry payload (saved by an older "
+              "version?)", file=sys.stderr)
+        return None
+    return result.telemetry
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import SPAN_COMPONENT, write_chrome_trace, write_jsonl
+
+    snapshot = _load_archived_telemetry(args.path)
+    if snapshot is None:
+        return 2
+    records = snapshot.get("records", [])
+    if getattr(args, "chrome", None):
+        with open(args.chrome, "w") as f:
+            n = write_chrome_trace(snapshot, f)
+        print(f"chrome trace ({n} events) written to {args.chrome}")
+    if getattr(args, "jsonl", None):
+        with open(args.jsonl, "w") as f:
+            n = write_jsonl(snapshot, f)
+        print(f"telemetry ({n} lines) written to {args.jsonl}")
+
+    spans = [r for r in records if r.get("component") == SPAN_COMPONENT]
+    by_kind: Dict[str, List[float]] = {}
+    for s in spans:
+        by_kind.setdefault(s["kind"], []).append(float(s["data"].get("dur", 0.0)))
+    rows = [
+        [kind, len(durs), f"{sum(durs):.1f}", f"{max(durs):.1f}"]
+        for kind, durs in sorted(by_kind.items())
+    ]
+    print(render_table(["span", "n", "total (s, sim)", "max (s, sim)"], rows))
+
+    shown = 0
+    for r in records:
+        if args.component and r.get("component") != args.component:
+            continue
+        if args.kind and r.get("kind") != args.kind:
+            continue
+        if shown >= args.limit:
+            break
+        data = " ".join(f"{k}={v}" for k, v in sorted(r.get("data", {}).items()))
+        print(f"t={r['t']:.3f} {r['component']}/{r['kind']} {data}")
+        shown += 1
+    total = sum(
+        1 for r in records
+        if (not args.component or r.get("component") == args.component)
+        and (not args.kind or r.get("kind") == args.kind)
+    )
+    if total > shown:
+        print(f"... {total - shown} more records (raise --limit)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import render_prometheus
+
+    if args.path is not None:
+        snapshot = _load_archived_telemetry(args.path)
+        if snapshot is None:
+            return 2
+    else:
+        result = run_scenario("mntp_wireless_corrected", seed=args.seed)
+        snapshot = result.telemetry
+    sys.stdout.write(render_prometheus(snapshot))
     return 0
 
 
@@ -218,7 +395,21 @@ def _cmd_logstudy(args) -> int:
 
 def _cmd_cellular(args) -> int:
     result = CellularExperiment(seed=args.seed, options=CellularOptions()).run()
+    if getattr(args, "telemetry", None):
+        _write_telemetry(result.telemetry, args.telemetry)
     stats = result.stats()
+    if getattr(args, "json", False):
+        print(json.dumps(
+            {
+                "duration": result.duration,
+                "offsets": _stats_dict(stats),
+                "failures": result.failures,
+                "promotions": result.promotions,
+                "gps_fixes": result.gps_fixes,
+            },
+            sort_keys=True, indent=2,
+        ))
+        return 0
     print(f"samples={stats.count} mean={stats.mean_abs * 1000:.1f}ms "
           f"std={stats.std_abs * 1000:.1f}ms max={stats.max_abs * 1000:.1f}ms "
           f"promotions={result.promotions}")
@@ -233,7 +424,12 @@ def _cmd_tune(args) -> int:
         with open(args.save, "w") as f:
             trace.save(f)
         print(f"trace saved to {args.save}")
-    searcher = ParameterSearcher(trace)
+    from repro.obs import Telemetry
+
+    telemetry = (
+        Telemetry.standalone() if getattr(args, "telemetry", None) else None
+    )
+    searcher = ParameterSearcher(trace, telemetry=telemetry)
     rows = []
     for num, config in TABLE2_CONFIGS.items():
         result = searcher.evaluate(config)
@@ -244,6 +440,8 @@ def _cmd_tune(args) -> int:
         ["config", "warmup (min)", "warmup wait (min)", "regular wait (min)",
          "RMSE (ms)", "requests"], rows,
     ))
+    if telemetry is not None:
+        _write_telemetry(telemetry.snapshot(), args.telemetry)
     return 0
 
 
@@ -266,11 +464,21 @@ def _cmd_calibrate(args) -> int:
 def _cmd_autotune(args) -> int:
     options = LoggerOptions(duration=args.hours * 3600.0)
     trace = TraceLogger(seed=args.seed, options=options).run()
-    tuner = AutoTuner(options=AutoTuneOptions(
-        target_rmse_ms=args.target_ms,
-        max_requests_per_hour=args.budget_per_hour,
-    ))
+    from repro.obs import Telemetry
+
+    telemetry = (
+        Telemetry.standalone() if getattr(args, "telemetry", None) else None
+    )
+    tuner = AutoTuner(
+        options=AutoTuneOptions(
+            target_rmse_ms=args.target_ms,
+            max_requests_per_hour=args.budget_per_hour,
+        ),
+        telemetry=telemetry,
+    )
     outcome = tuner.tune(trace)
+    if telemetry is not None:
+        _write_telemetry(telemetry.snapshot(), args.telemetry)
     if outcome.recommended is None:
         print("no viable configuration under the given constraints")
         return 1

@@ -34,8 +34,12 @@ from repro.core.falsetickers import reject_false_tickers
 from repro.core.filter import OffsetFilter
 from repro.core.thresholds import failing_conditions, favorable_snr_condition
 from repro.ntp.sntp_client import SntpClient, SntpResult
+from repro.obs.spans import Span
 from repro.simcore.simulator import Simulator
 from repro.wireless.hints import HintProvider
+
+#: Bucket bounds (milliseconds) for the filter-residual histogram.
+_RESIDUAL_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 class MntpPhase(Enum):
@@ -155,6 +159,16 @@ class Mntp:
         self.deferral_count = 0
         self.reset_count = 0
         self._running = False
+        self._phase_span: Optional[Span] = None
+        metrics = sim.telemetry.metrics
+        self._drift_gauge = metrics.gauge(
+            "mntp_drift_estimate_ppm", "latest trend-line drift estimate"
+        )
+        self._residual_hist = metrics.histogram(
+            "mntp_abs_residual_ms",
+            "absolute filter residual of each offered offset",
+            buckets=_RESIDUAL_MS_BUCKETS,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -167,9 +181,20 @@ class Mntp:
         """Halt after any in-flight round."""
         self._running = False
         self.phase = MntpPhase.STOPPED
+        self._close_phase_span()
 
     def _emit(self, kind: MntpEventKind, **data) -> None:
         self._sim.trace.emit(self._sim.now, "mntp", kind.value, **data)
+        self._sim.telemetry.metrics.counter(f"mntp_{kind.value}_total").inc()
+
+    def _open_phase_span(self, name: str, **attrs) -> None:
+        self._close_phase_span()
+        self._phase_span = self._sim.telemetry.spans.begin(name, **attrs)
+
+    def _close_phase_span(self) -> None:
+        if self._phase_span is not None:
+            self._phase_span.end()
+            self._phase_span = None
 
     # -- reset / phase transitions --------------------------------------------
 
@@ -183,14 +208,17 @@ class Mntp:
             self._comp.reset(self._sim.now)
             self.drift_estimate = None
             self._emit(MntpEventKind.RESET)
+        self._open_phase_span("mntp.warmup", reset_count=self.reset_count)
         self._sim.call_after(0.0, self._warmup_round, label="mntp:warmup")
 
     def _enter_regular(self) -> None:
         self.phase = MntpPhase.REGULAR
         self._phase_start = self._sim.now
+        self._open_phase_span("mntp.regular")
         self.drift_estimate = self.filter.drift_estimate()
         self._emit(MntpEventKind.WARMUP_COMPLETE, drift=self.drift_estimate)
         if self.drift_estimate is not None:
+            self._drift_gauge.set(self.drift_estimate * 1e6)
             self._emit(MntpEventKind.DRIFT_ESTIMATED, drift=self.drift_estimate)
             if self.config.enable_drift_correction:
                 # Trend slope s means the local clock's skew is -s
@@ -210,7 +238,7 @@ class Mntp:
 
     # -- the hint gate ----------------------------------------------------------
 
-    def _gate_then(self, action: Callable[[], None]) -> None:
+    def _gate_then(self, action: Callable[[], None], wait_span: Optional[Span] = None) -> None:
         """Run ``action`` once the channel is favorable (Algorithm 1's
         ``wait(favorableSNRCondition())``)."""
         if not self.config.enable_hint_gate:
@@ -218,6 +246,8 @@ class Mntp:
             return
         reading = self.hints.read_hints()
         if favorable_snr_condition(reading, self.config.thresholds):
+            if wait_span is not None:
+                wait_span.end()
             action()
             return
         self.deferral_count += 1
@@ -228,9 +258,13 @@ class Mntp:
             snr_margin=reading.snr_margin_db,
             failing=failing_conditions(reading, self.config.thresholds),
         )
+        if wait_span is None:
+            wait_span = self._sim.telemetry.spans.begin(
+                "mntp.gate_wait", phase=self.phase.value
+            )
         self._sim.call_after(
             self.config.hint_poll_interval,
-            lambda: self._gate_then(action),
+            lambda: self._gate_then(action, wait_span),
             label="mntp:gate",
         )
 
@@ -251,12 +285,18 @@ class Mntp:
         results: Dict[str, Optional[SntpResult]] = {}
         outstanding = {"count": len(pools)}
         self._emit(MntpEventKind.QUERY_SENT, phase="warmup", sources=pools)
+        query_span = self._sim.telemetry.spans.begin(
+            "mntp.query", phase="warmup", sources=len(pools)
+        )
 
         def make_cb(pool: str):
             def on_result(result: SntpResult) -> None:
                 results[pool] = result
                 outstanding["count"] -= 1
                 if outstanding["count"] == 0:
+                    query_span.end(
+                        ok=sum(1 for r in results.values() if r is not None and r.ok)
+                    )
                     self._warmup_collect(results)
 
             return on_result
@@ -301,8 +341,12 @@ class Mntp:
             return
         source = self.config.regular_source
         self._emit(MntpEventKind.QUERY_SENT, phase="regular", sources=[source])
+        query_span = self._sim.telemetry.spans.begin(
+            "mntp.query", phase="regular", sources=1
+        )
 
         def on_result(result: SntpResult) -> None:
+            query_span.end(ok=1 if result.ok else 0)
             if not self._running:
                 return
             if result.ok:
@@ -332,6 +376,7 @@ class Mntp:
         residual = None
         if outcome is not None and outcome.predicted == outcome.predicted:  # not NaN
             residual = uncorrected - outcome.predicted
+            self._residual_hist.observe(abs(residual) * 1000.0)
         report = MntpReport(
             time=now, offset=offset, accepted=accepted, phase=self.phase,
             residual=residual,

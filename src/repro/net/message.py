@@ -9,6 +9,17 @@ from typing import Optional
 _datagram_ids = itertools.count(1)
 
 
+def reset_datagram_ids() -> None:
+    """Restart datagram numbering at 1.
+
+    Idents land in trace records (e.g. link ``drop`` events), which are
+    exported as telemetry; experiment entry points reset the counter so
+    same-seed runs within one process stay byte-identical.
+    """
+    global _datagram_ids
+    _datagram_ids = itertools.count(1)
+
+
 @dataclass
 class Datagram:
     """A UDP-like message in flight through the simulated network.

@@ -1,0 +1,59 @@
+"""Deterministic-safe observability: metrics, spans, exporters.
+
+The simulation side (metrics registry, span tracer) runs entirely on
+virtual time, so telemetry is a pure function of the run's seed —
+two runs with the same seed export byte-identical JSONL.  Wall-clock
+measurement is quarantined in :class:`~repro.obs.runtimer.RunTimer`
+for CLI/bench layers.  See ``docs/OBSERVABILITY.md`` for the metric
+naming scheme, the span taxonomy, and the exporter formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SPAN_COMPONENT, Span, SpanTracer
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    ManualClock,
+    Telemetry,
+    record_from_dict,
+    record_to_dict,
+    snapshot_metric_names,
+    snapshot_span_kinds,
+)
+from repro.obs.runtimer import RunTimer
+from repro.obs.exporters import (
+    chrome_trace_events,
+    jsonl_lines,
+    load_jsonl,
+    render_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SPAN_COMPONENT",
+    "Span",
+    "SpanTracer",
+    "TELEMETRY_FORMAT",
+    "ManualClock",
+    "Telemetry",
+    "record_from_dict",
+    "record_to_dict",
+    "snapshot_metric_names",
+    "snapshot_span_kinds",
+    "RunTimer",
+    "chrome_trace_events",
+    "jsonl_lines",
+    "load_jsonl",
+    "render_prometheus",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,79 @@
+"""Wall-clock timing for CLI and bench layers ONLY.
+
+Everything else in :mod:`repro.obs` runs on simulated time and is
+deterministic; :class:`RunTimer` is the one deliberate exception.  It
+measures *host* elapsed seconds so the bench harness can record how
+long each figure reproduction takes on real hardware — data that must
+never flow back into simulation state or seed-keyed telemetry, or
+byte-identical replays break.
+
+The DET001 rule forbids wall-clock reads inside simulation packages
+(which includes ``obs``); the single suppressed call below is the
+boundary where that exception is granted and documented.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+def _wall_seconds() -> float:
+    """Monotonic host seconds — the only wall-clock read in ``obs``."""
+    return time.perf_counter()  # repro: noqa[DET001] bench/CLI wall-clock boundary
+
+
+class RunTimer:
+    """Accumulates named wall-clock intervals (bench/CLI layers only).
+
+    Usage::
+
+        timer = RunTimer()
+        with timer.measure("bench_fig7"):
+            run_the_bench()
+        timer.results()  # {"bench_fig7": 1.84}
+
+    Re-measuring a name accumulates into its total.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    def measure(self, name: str) -> "_Measurement":
+        """Context manager timing one named interval."""
+        return _Measurement(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add an externally-measured duration under ``name``."""
+        if seconds < 0:
+            raise ValueError("duration cannot be negative")
+        if name not in self._totals:
+            self._totals[name] = 0.0
+            self._order.append(name)
+        self._totals[name] += seconds
+
+    def results(self) -> Dict[str, float]:
+        """Name -> accumulated seconds, in first-measured order."""
+        return {name: self._totals[name] for name in self._order}
+
+    def total(self) -> float:
+        """Sum of every recorded interval."""
+        return sum(self._totals.values())
+
+
+class _Measurement:
+    """Context manager for one :class:`RunTimer` interval."""
+
+    def __init__(self, timer: RunTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "_Measurement":
+        self._start = _wall_seconds()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self._timer.record(self._name, _wall_seconds() - self._start)

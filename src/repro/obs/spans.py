@@ -1,0 +1,130 @@
+"""Span-based tracing over the simulation :class:`TraceLog`.
+
+A *span* is a named interval on the virtual-time axis —
+``mntp.warmup``, ``channel.interference``, ``sim.run``.  Completed
+spans are appended to the run's existing :class:`TraceLog` as ordinary
+records under component :data:`SPAN_COMPONENT` with ``kind`` set to the
+span name, so every current trace consumer (the Figure-7 bench, the
+tests) keeps working unchanged while exporters gain interval data.
+
+Spans in event-driven code rarely fit a ``with`` block, so the tracer
+offers both styles::
+
+    handle = tracer.begin("mntp.warmup")
+    ...                       # event callbacks fire
+    handle.end(samples=12)
+
+    with tracer.span("tuner.tune"):
+        ...
+
+A span that is never ended produces no record (the run stopped mid
+flight); :meth:`SpanTracer.end_all` closes stragglers at shutdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.simcore.trace import TraceLog, TraceRecord
+
+#: Component name span records are filed under in the TraceLog.
+SPAN_COMPONENT = "span"
+
+
+class Span:
+    """One open (or finished) span.
+
+    Attributes:
+        name: Span kind (dotted taxonomy, e.g. ``"mntp.warmup"``).
+        t0: Virtual time the span opened.
+        t1: Virtual time it closed (None while open).
+        attrs: Attributes attached at begin/end.
+    """
+
+    __slots__ = ("name", "t0", "t1", "attrs", "_tracer")
+
+    def __init__(self, tracer: "SpanTracer", name: str, t0: float, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been ended yet."""
+        return self.t1 is None
+
+    def end(self, t: Optional[float] = None, **attrs: Any) -> Optional[TraceRecord]:
+        """Close the span and emit its record; idempotent.
+
+        Args:
+            t: Explicit end time (defaults to the tracer's clock).
+            attrs: Extra attributes merged into the span record.
+        """
+        if self.t1 is not None:
+            return None
+        return self._tracer._finish(self, t, attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end()
+
+
+class SpanTracer:
+    """Opens and closes spans against a :class:`TraceLog`.
+
+    Args:
+        trace: Destination log (shared with the simulation components).
+        now_fn: Callable returning the current time on the span axis —
+            virtual seconds inside a simulator, a manual tick outside.
+    """
+
+    def __init__(self, trace: TraceLog, now_fn: Callable[[], float]) -> None:
+        self.trace = trace
+        self._now_fn = now_fn
+        self._open: List[Span] = []
+
+    def begin(self, name: str, t: Optional[float] = None, **attrs: Any) -> Span:
+        """Open a span named ``name`` at time ``t`` (default: now)."""
+        t0 = float(self._now_fn()) if t is None else float(t)
+        span = Span(self, name, t0, dict(attrs))
+        self._open.append(span)
+        return span
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span for use as a context manager."""
+        return self.begin(name, **attrs)
+
+    def _finish(self, span: Span, t: Optional[float], attrs: dict) -> TraceRecord:
+        t1 = float(self._now_fn()) if t is None else float(t)
+        span.t1 = max(t1, span.t0)
+        span.attrs.update(attrs)
+        try:
+            self._open.remove(span)
+        except ValueError:  # pragma: no cover - double-bookkeeping guard
+            pass
+        return self.trace.emit(
+            span.t0,
+            SPAN_COMPONENT,
+            span.name,
+            t0=span.t0,
+            t1=span.t1,
+            dur=span.t1 - span.t0,
+            **span.attrs,
+        )
+
+    @property
+    def open_count(self) -> int:
+        """Number of spans currently open."""
+        return len(self._open)
+
+    def end_all(self, t: Optional[float] = None) -> int:
+        """Close every open span (shutdown path); returns how many."""
+        closed = 0
+        for span in list(self._open):
+            span.end(t=t)
+            closed += 1
+        return closed

@@ -1,0 +1,150 @@
+"""The per-run telemetry bundle: metrics + spans + trace.
+
+One :class:`Telemetry` object accompanies each run.  Inside a
+simulation the :class:`~repro.simcore.simulator.Simulator` constructs it
+over its own virtual clock and trace log, so everything recorded is a
+deterministic function of the seed.  Outside a simulation (the tuner's
+grid search, which replays a recorded trace with no virtual clock) use
+:meth:`Telemetry.standalone`, which runs on a :class:`ManualClock` —
+a deterministic step counter standing in for a time axis.
+
+:meth:`Telemetry.snapshot` freezes everything into plain dicts/lists
+for persistence and the exporters (:mod:`repro.obs.exporters`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.simcore.trace import TraceLog, TraceRecord
+
+#: Format tag stamped into snapshots and JSONL exports.
+TELEMETRY_FORMAT = "mntp-telemetry-v1"
+
+
+class ManualClock:
+    """A deterministic, manually-advanced time axis.
+
+    Used where telemetry is wanted but no simulator clock exists (the
+    tuner replays traces in a plain loop); ``tick()`` advances by one
+    step so spans get distinct, reproducible begin/end coordinates.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self._now = float(start)
+        self._step = float(step)
+
+    def now(self) -> float:
+        """Current position on the axis."""
+        return self._now
+
+    def tick(self) -> float:
+        """Advance by one step and return the new position."""
+        self._now += self._step
+        return self._now
+
+
+def record_to_dict(record: TraceRecord) -> Dict[str, Any]:
+    """JSON-serialisable form of one :class:`TraceRecord`."""
+    return {
+        "t": record.time,
+        "component": record.component,
+        "kind": record.kind,
+        "data": dict(record.data),
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> TraceRecord:
+    """Rebuild a :class:`TraceRecord` from :func:`record_to_dict` output."""
+    return TraceRecord(
+        time=float(data["t"]),
+        component=str(data["component"]),
+        kind=str(data["kind"]),
+        data=dict(data.get("data", {})),
+    )
+
+
+class Telemetry:
+    """Metrics registry + span tracer + trace log for one run.
+
+    Args:
+        now_fn: The run's time axis (virtual seconds in a simulation).
+        trace: Existing log to share (the simulator passes its own so
+            span records land next to component events); a fresh log is
+            created when omitted.
+    """
+
+    def __init__(
+        self,
+        now_fn: Callable[[], float],
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.trace = trace if trace is not None else TraceLog()
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracer(self.trace, now_fn)
+        self._now_fn = now_fn
+        self._clock: Optional[ManualClock] = None
+
+    @classmethod
+    def standalone(cls, start: float = 0.0, step: float = 1.0) -> "Telemetry":
+        """A telemetry bundle on a :class:`ManualClock` (non-sim layers)."""
+        clock = ManualClock(start=start, step=step)
+        telemetry = cls(now_fn=clock.now)
+        telemetry._clock = clock
+        return telemetry
+
+    @property
+    def now(self) -> float:
+        """Current position on the bundle's time axis."""
+        return float(self._now_fn())
+
+    @property
+    def manual(self) -> bool:
+        """Whether the bundle runs on a manually-advanced clock."""
+        return self._clock is not None
+
+    def advance(self, steps: int = 1) -> float:
+        """Advance a standalone bundle's manual clock by ``steps`` ticks.
+
+        Raises:
+            RuntimeError: On a simulator-backed bundle, whose time only
+                moves with the event loop.
+        """
+        if self._clock is None:
+            raise RuntimeError("telemetry clock is not manually advanceable")
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        now = self._clock.now()
+        for _ in range(steps):
+            now = self._clock.tick()
+        return now
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Freeze metrics and trace records into a plain dict."""
+        return {
+            "format": TELEMETRY_FORMAT,
+            "metrics": self.metrics.snapshot(),
+            "records": [record_to_dict(r) for r in self.trace],
+        }
+
+
+def snapshot_span_kinds(snapshot: Dict[str, Any]) -> List[str]:
+    """Distinct span kinds in a snapshot, sorted."""
+    from repro.obs.spans import SPAN_COMPONENT
+
+    return sorted(
+        {
+            r["kind"]
+            for r in snapshot.get("records", [])
+            if r.get("component") == SPAN_COMPONENT
+        }
+    )
+
+
+def snapshot_metric_names(snapshot: Dict[str, Any]) -> List[str]:
+    """Distinct metric names in a snapshot, sorted."""
+    return sorted({m["name"] for m in snapshot.get("metrics", [])})

@@ -102,13 +102,23 @@ class Simulator:
         now: Current virtual time in seconds.
         rng: Registry of named random streams for components.
         trace: Structured log of component events (optional use).
+        telemetry: Metrics/span bundle on this simulator's virtual
+            clock, sharing :attr:`trace` (see :mod:`repro.obs`).
     """
 
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        # Imported here, not at module scope: repro.obs depends on
+        # repro.simcore.trace, so a top-level import would be circular.
+        from repro.obs.telemetry import Telemetry
+
         self.now = float(start_time)
         self._queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog()
+        self.telemetry = Telemetry(now_fn=lambda: self.now, trace=self.trace)
+        self._events_total = self.telemetry.metrics.counter(
+            "sim_events_total", "events executed by the simulator loop"
+        )
         self._running = False
 
     # -- scheduling ------------------------------------------------------
@@ -138,6 +148,8 @@ class Simulator:
         if end_time < self.now:
             raise ValueError(f"end time {end_time} is before now {self.now}")
         self._running = True
+        executed = 0
+        span = self.telemetry.spans.begin("sim.run", mode="run_until")
         try:
             while self._running:
                 t = self._queue.peek_time()
@@ -147,9 +159,12 @@ class Simulator:
                 assert event is not None
                 self.now = max(self.now, event.time)
                 event.callback()
+                executed += 1
         finally:
             self._running = False
+            self._events_total.inc(executed)
         self.now = max(self.now, end_time)
+        span.end(events=executed)
 
     def run_for(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds."""
@@ -158,6 +173,8 @@ class Simulator:
     def run_to_completion(self, max_time: float = 1e12) -> None:
         """Run until the event queue drains (bounded by ``max_time``)."""
         self._running = True
+        executed = 0
+        span = self.telemetry.spans.begin("sim.run", mode="run_to_completion")
         try:
             while self._running:
                 t = self._queue.peek_time()
@@ -167,8 +184,11 @@ class Simulator:
                 assert event is not None
                 self.now = max(self.now, event.time)
                 event.callback()
+                executed += 1
         finally:
             self._running = False
+            self._events_total.inc(executed)
+        span.end(events=executed)
 
     def stop(self) -> None:
         """Stop the current run_* call after the in-flight event returns."""

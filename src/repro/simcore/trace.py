@@ -51,14 +51,57 @@ class TraceLog:
         self, component: Optional[str] = None, kind: Optional[str] = None
     ) -> List[TraceRecord]:
         """Return records filtered by component and/or kind."""
-        out = []
+        return list(self.iter_filtered(component=component, kind=kind))
+
+    def iter_filtered(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> Iterator[TraceRecord]:
+        """Lazily yield records matching every given filter.
+
+        Args:
+            component: Keep only this emitting component.
+            kind: Keep only this event kind.
+            t0: Keep records with ``time >= t0``.
+            t1: Keep records with ``time < t1``.
+        """
         for rec in self._records:
             if component is not None and rec.component != component:
                 continue
             if kind is not None and rec.kind != kind:
                 continue
-            out.append(rec)
-        return out
+            if t0 is not None and rec.time < t0:
+                continue
+            if t1 is not None and rec.time >= t1:
+                continue
+            yield rec
+
+    def by_component(self, component: str) -> Iterator[TraceRecord]:
+        """Lazily yield records emitted by ``component``."""
+        return self.iter_filtered(component=component)
+
+    def by_kind(self, kind: str, component: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Lazily yield records of ``kind`` (optionally one component's)."""
+        return self.iter_filtered(component=component, kind=kind)
+
+    def window(self, t0: float, t1: float) -> Iterator[TraceRecord]:
+        """Lazily yield records with time in the half-open ``[t0, t1)``."""
+        if t1 < t0:
+            raise ValueError(f"window end {t1} before start {t0}")
+        return self.iter_filtered(t0=t0, t1=t1)
+
+    def components(self) -> List[str]:
+        """Distinct emitting components, sorted."""
+        return sorted({rec.component for rec in self._records})
+
+    def kinds(self, component: Optional[str] = None) -> List[str]:
+        """Distinct kinds (optionally for one component), sorted."""
+        return sorted(
+            {rec.kind for rec in self.iter_filtered(component=component)}
+        )
 
     def clear(self) -> None:
         """Drop all records."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -102,6 +102,9 @@ class ExperimentResult:
         mntp_reports: Every MNTP report (accepted and rejected).
         true_offsets: Ground-truth TN clock offsets on the cadence.
         duration: Virtual seconds simulated.
+        telemetry: Frozen :meth:`repro.obs.Telemetry.snapshot` of the
+            run (metrics + trace/span records); None for results built
+            outside :class:`ExperimentRunner`.
     """
 
     sntp: List[OffsetPoint] = field(default_factory=list)
@@ -109,6 +112,7 @@ class ExperimentResult:
     mntp_reports: List[MntpReport] = field(default_factory=list)
     true_offsets: List[OffsetPoint] = field(default_factory=list)
     duration: float = 0.0
+    telemetry: Optional[Dict[str, Any]] = None
 
     # -- derived series --------------------------------------------------
 
@@ -243,6 +247,7 @@ class ExperimentRunner:
         testbed.stop_background()
         if self.mntp is not None:
             self.mntp.stop()
+        result.telemetry = sim.telemetry.snapshot()
         return result
 
     # -- loops -----------------------------------------------------------------
@@ -250,6 +255,14 @@ class ExperimentRunner:
     def _start_sntp_loop(
         self, sim: Simulator, testbed: Testbed, result: ExperimentResult
     ) -> None:
+        queries = sim.telemetry.metrics.counter(
+            "sntp_queries_total", "SNTP requests issued by the baseline client"
+        )
+        failures = sim.telemetry.metrics.counter(
+            "sntp_query_failures_total",
+            "SNTP queries with no usable response (timeout or KoD)",
+        )
+
         def poll() -> None:
             if sim.now >= self.duration:
                 return
@@ -266,7 +279,9 @@ class ExperimentRunner:
                     )
                 else:
                     result.sntp_failures += 1
+                    failures.inc()
 
+            queries.inc()
             testbed.sntp_app.query("0.pool.ntp.org", on_result)
             sim.call_after(self.sntp_cadence, poll, label="sntp:poll")
 

@@ -18,8 +18,13 @@ FORMAT = "mntp-experiment-v1"
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
-    """Convert a result to a JSON-serialisable dict."""
-    return {
+    """Convert a result to a JSON-serialisable dict.
+
+    The run's telemetry snapshot rides along under ``"telemetry"``
+    when present, so archived runs stay inspectable with
+    ``repro-mntp trace`` / ``repro-mntp metrics``.
+    """
+    out = {
         "format": FORMAT,
         "duration": result.duration,
         "sntp_failures": result.sntp_failures,
@@ -27,6 +32,9 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         "true_offsets": [_point(p) for p in result.true_offsets],
         "mntp_reports": [_report(r) for r in result.mntp_reports],
     }
+    if result.telemetry is not None:
+        out["telemetry"] = result.telemetry
+    return out
 
 
 def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
@@ -40,6 +48,7 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
     result.sntp = [_point_from(d) for d in data.get("sntp", [])]
     result.true_offsets = [_point_from(d) for d in data.get("true_offsets", [])]
     result.mntp_reports = [_report_from(d) for d in data.get("mntp_reports", [])]
+    result.telemetry = data.get("telemetry")
     return result
 
 

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import MntpConfig
+from repro.obs.telemetry import Telemetry
 from repro.tuner.emulator import MntpEmulator
 from repro.tuner.traces import OffsetTrace
 
@@ -84,11 +85,17 @@ class ParameterSearcher:
         base_config: Template whose non-swept fields (thresholds,
             toggles) every candidate inherits.
         space: The grid.
+        telemetry: Optional telemetry bundle; each evaluation becomes a
+            ``tuner.eval`` span and bumps ``tuner_evaluations_total``.
+            A :meth:`Telemetry.standalone` bundle (manual clock) keeps
+            the coordinates deterministic — there is no virtual clock
+            during offline grid search.
     """
 
     trace: OffsetTrace
     base_config: MntpConfig = field(default_factory=MntpConfig)
     space: SearchSpace = field(default_factory=SearchSpace)
+    telemetry: Optional[Telemetry] = None
 
     def search(self) -> List[SearchResult]:
         """Evaluate every combination; results sorted best-RMSE first."""
@@ -100,24 +107,34 @@ class ParameterSearcher:
                 regular_wait_time=rw,
                 reset_period=rp,
             )
-            emulation = MntpEmulator(self.trace, config).run()
-            results.append(
-                SearchResult(
-                    config=config,
-                    rmse_ms=emulation.rmse_ms(),
-                    requests=emulation.requests,
-                    reported_count=len(emulation.reported),
-                )
-            )
+            results.append(self.evaluate(config))
         results.sort(key=lambda r: r.rmse_ms)
         return results
 
     def evaluate(self, config: MntpConfig) -> SearchResult:
         """Score a single configuration (used for Table 2's rows)."""
+        span = None
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "tuner_evaluations_total",
+                "configurations scored by the parameter searcher",
+            ).inc()
+            span = self.telemetry.spans.begin(
+                "tuner.eval",
+                warmup_period=config.warmup_period,
+                warmup_wait_time=config.warmup_wait_time,
+                regular_wait_time=config.regular_wait_time,
+                reset_period=config.reset_period,
+            )
         emulation = MntpEmulator(self.trace, config).run()
-        return SearchResult(
+        result = SearchResult(
             config=config,
             rmse_ms=emulation.rmse_ms(),
             requests=emulation.requests,
             reported_count=len(emulation.reported),
         )
+        if span is not None:
+            if self.telemetry.manual:
+                self.telemetry.advance()
+            span.end(rmse_ms=round(result.rmse_ms, 6), requests=result.requests)
+        return result

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.obs.spans import Span
+from repro.obs.telemetry import Telemetry
 from repro.wireless.hints import WirelessHints
 
 
@@ -75,6 +78,9 @@ class WirelessChannel:
         now_fn: Callable returning current virtual time.
         tx_power_dbm: Initial transmit power (adjustable at runtime by
             the access point / monitor node).
+        telemetry: Optional telemetry bundle; when given, interference
+            episodes are traced as ``channel.interference`` spans and
+            counted (the paper's "lossy windows" become queryable).
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class WirelessChannel:
         rng: np.random.Generator,
         now_fn,
         tx_power_dbm: float = -10.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if params.tick_s <= 0:
             raise ValueError("tick must be positive")
@@ -107,6 +114,16 @@ class WirelessChannel:
         #: attached by the topology so co-channel traffic lifts the
         #: measured noise floor.
         self.occupancy_fn = None
+        self._telemetry = telemetry
+        self._intf_span: Optional[Span] = None
+        self._episodes_total = (
+            telemetry.metrics.counter(
+                "channel_interference_episodes_total",
+                "interference episodes started on the wireless channel",
+            )
+            if telemetry is not None
+            else None
+        )
 
     # -- state advancement -------------------------------------------------
 
@@ -114,10 +131,10 @@ class WirelessChannel:
         now = float(self._now_fn())
         p = self.params
         while self._last_tick + p.tick_s <= now:
-            self._step_once(p.tick_s)
+            self._step_once(p.tick_s, self._last_tick + p.tick_s)
             self._last_tick += p.tick_s
 
-    def _step_once(self, dt: float) -> None:
+    def _step_once(self, dt: float, t: float) -> None:
         p = self.params
         # Shadowing: exact OU discretisation.
         alpha = math.exp(-dt / p.shadow_tau_s)
@@ -140,6 +157,9 @@ class WirelessChannel:
             if self._intf_remaining_s <= 0.0:
                 self._intf_rssi_dip_db = 0.0
                 self._intf_noise_lift_db = 0.0
+                if self._intf_span is not None:
+                    self._intf_span.end(t=t)
+                    self._intf_span = None
         else:
             rate = p.interference_rate_hz * max(0.0, self.interference_pressure)
             if rate > 0 and self._rng.random() < 1.0 - math.exp(-rate * dt):
@@ -152,6 +172,14 @@ class WirelessChannel:
                 self._intf_noise_lift_db = float(
                     self._rng.normal(p.interference_noise_lift_db, 4.0)
                 )
+                if self._telemetry is not None:
+                    self._episodes_total.inc()
+                    self._intf_span = self._telemetry.spans.begin(
+                        "channel.interference",
+                        t=t,
+                        rssi_dip_db=round(self._intf_rssi_dip_db, 3),
+                        noise_lift_db=round(self._intf_noise_lift_db, 3),
+                    )
 
     # -- reads --------------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""OBS001: bare print() in library packages."""
+
+from repro.analysis import check_source
+
+
+def rules_for(src, module):
+    return sorted({f.rule for f in check_source(src, module=module)})
+
+
+PRINTING = "def f():\n    print('hello')\n"
+
+
+def test_print_flagged_in_library_package():
+    assert rules_for(PRINTING, "repro.core.protocol") == ["OBS001"]
+    assert rules_for(PRINTING, "repro.testbed.experiment") == ["OBS001"]
+    assert rules_for(PRINTING, "repro.obs.metrics") == ["OBS001"]
+
+
+def test_print_allowed_in_cli_analysis_reporting():
+    assert rules_for(PRINTING, "repro.cli") == []
+    assert rules_for(PRINTING, "repro.analysis.cli") == []
+    assert rules_for(PRINTING, "repro.reporting.tables") == []
+
+
+def test_print_allowed_outside_repro():
+    assert rules_for(PRINTING, "scratch") == []
+    assert rules_for(PRINTING, "scripts.bench") == []
+
+
+def test_noqa_suppresses_obs001():
+    src = "def f():\n    print('x')  # repro: noqa[OBS001] boot banner\n"
+    assert rules_for(src, "repro.core.protocol") == []
+
+
+def test_method_named_print_not_flagged():
+    src = "def f(doc):\n    doc.print()\n"
+    assert rules_for(src, "repro.core.protocol") == []
+
+
+def test_message_names_the_module():
+    findings = check_source(PRINTING, module="repro.wireless.channel")
+    assert any("repro.wireless.channel" in f.message for f in findings)

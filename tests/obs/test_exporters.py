@@ -1,0 +1,90 @@
+"""Exporters: JSONL round-trip, Chrome trace validity, Prometheus text."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    chrome_trace_events,
+    jsonl_lines,
+    load_jsonl,
+    render_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_snapshot():
+    telemetry = Telemetry.standalone()
+    telemetry.metrics.counter("q_total", help="queries").inc(3)
+    telemetry.metrics.gauge("drift_ppm").set(11.5)
+    hist = telemetry.metrics.histogram("lat_ms", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(50.0)
+    telemetry.trace.emit(0.0, "mntp", "offset_accepted", offset=0.002)
+    span = telemetry.spans.begin("mntp.query", phase="warmup")
+    telemetry.advance()
+    span.end(ok=1)
+    return telemetry.snapshot()
+
+
+def test_jsonl_roundtrip():
+    snap = sample_snapshot()
+    buf = io.StringIO()
+    lines = write_jsonl(snap, buf)
+    assert lines == 1 + len(snap["metrics"]) + len(snap["records"])
+    buf.seek(0)
+    again = load_jsonl(buf)
+    assert again["metrics"] == snap["metrics"]
+    assert again["records"] == snap["records"]
+
+
+def test_jsonl_is_byte_deterministic():
+    a = "\n".join(jsonl_lines(sample_snapshot()))
+    b = "\n".join(jsonl_lines(sample_snapshot()))
+    assert a == b
+
+
+def test_load_jsonl_rejects_garbage():
+    with pytest.raises(ValueError):
+        load_jsonl(io.StringIO("not json\n"))
+    with pytest.raises(ValueError):
+        load_jsonl(io.StringIO('{"type":"meta","format":"other"}\n'))
+    with pytest.raises(ValueError):
+        load_jsonl(io.StringIO('{"type":"mystery"}\n'))
+
+
+def test_chrome_trace_is_valid_json_with_span_events():
+    snap = sample_snapshot()
+    buf = io.StringIO()
+    count = write_chrome_trace(snap, buf)
+    document = json.loads(buf.getvalue())
+    assert isinstance(document["traceEvents"], list)
+    assert len(document["traceEvents"]) == count
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert complete and complete[0]["name"] == "mntp.query"
+    assert complete[0]["dur"] == pytest.approx(1e6)  # 1 manual tick in us
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    assert instants and instants[0]["name"] == "mntp.offset_accepted"
+    metas = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in metas} >= {"mntp"}
+
+
+def test_prometheus_rendering():
+    text = render_prometheus(sample_snapshot())
+    assert "# TYPE q_total counter" in text
+    assert "q_total 3" in text
+    assert "# HELP q_total queries" in text
+    assert "drift_ppm 11.5" in text
+    assert 'lat_ms_bucket{le="1"} 1' in text
+    assert 'lat_ms_bucket{le="10"} 2' in text
+    assert 'lat_ms_bucket{le="+Inf"} 3' in text
+    assert "lat_ms_sum 55.5" in text
+    assert "lat_ms_count 3" in text
+
+
+def test_prometheus_empty_snapshot():
+    assert render_prometheus({"metrics": [], "records": []}) == ""

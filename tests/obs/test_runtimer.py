@@ -1,0 +1,30 @@
+"""RunTimer: the sanctioned wall-clock boundary for bench/CLI layers."""
+
+import pytest
+
+from repro.obs import RunTimer
+
+
+def test_measure_records_elapsed_time():
+    timer = RunTimer()
+    with timer.measure("work"):
+        sum(range(1000))
+    results = timer.results()
+    assert set(results) == {"work"}
+    assert results["work"] >= 0.0
+
+
+def test_repeat_measurements_accumulate():
+    timer = RunTimer()
+    timer.record("a", 1.0)
+    timer.record("b", 2.0)
+    timer.record("a", 0.5)
+    assert timer.results() == {"a": 1.5, "b": 2.0}
+    assert list(timer.results()) == ["a", "b"]  # first-measured order
+    assert timer.total() == pytest.approx(3.5)
+
+
+def test_negative_duration_rejected():
+    timer = RunTimer()
+    with pytest.raises(ValueError):
+        timer.record("a", -0.1)

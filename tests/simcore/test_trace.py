@@ -52,3 +52,53 @@ def test_clear():
     log.emit(1.0, "c", "k")
     log.clear()
     assert len(log) == 0
+
+
+def make_log():
+    log = TraceLog()
+    log.emit(0.0, "mntp", "query_sent")
+    log.emit(1.0, "channel", "hints")
+    log.emit(2.0, "mntp", "deferred")
+    log.emit(3.0, "mntp", "query_sent")
+    log.emit(4.0, "span", "sim.run")
+    return log
+
+
+def test_by_component_is_lazy_and_filtered():
+    log = make_log()
+    it = log.by_component("mntp")
+    assert iter(it) is it  # a generator, not a list
+    assert [r.time for r in it] == [0.0, 2.0, 3.0]
+
+
+def test_by_kind_with_optional_component():
+    log = make_log()
+    assert [r.time for r in log.by_kind("query_sent")] == [0.0, 3.0]
+    assert [r.time for r in log.by_kind("sim.run", component="span")] == [4.0]
+    assert list(log.by_kind("sim.run", component="mntp")) == []
+
+
+def test_window_is_half_open():
+    log = make_log()
+    assert [r.time for r in log.window(1.0, 3.0)] == [1.0, 2.0]
+    assert list(log.window(5.0, 9.0)) == []
+
+
+def test_window_rejects_inverted_bounds():
+    import pytest
+
+    with pytest.raises(ValueError):
+        list(make_log().window(3.0, 1.0))
+
+
+def test_iter_filtered_combines_all_filters():
+    log = make_log()
+    records = list(log.iter_filtered(component="mntp", kind="query_sent", t0=1.0, t1=4.0))
+    assert [r.time for r in records] == [3.0]
+
+
+def test_components_and_kinds_sorted():
+    log = make_log()
+    assert log.components() == ["channel", "mntp", "span"]
+    assert log.kinds() == ["deferred", "hints", "query_sent", "sim.run"]
+    assert log.kinds(component="mntp") == ["deferred", "query_sent"]

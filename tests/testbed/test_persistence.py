@@ -65,3 +65,34 @@ def test_missing_truth_roundtrips_as_nan():
 def test_wrong_format_rejected():
     with pytest.raises(ValueError):
         result_from_dict({"format": "something-else"})
+
+
+def test_roundtrip_preserves_telemetry_payload(result):
+    from repro.obs import snapshot_metric_names, snapshot_span_kinds
+
+    assert result.telemetry is not None
+    buf = io.StringIO()
+    save_result(result, buf)
+    buf.seek(0)
+    loaded = load_result(buf)
+    assert loaded.telemetry is not None
+    assert loaded.telemetry["format"] == result.telemetry["format"]
+    assert len(loaded.telemetry["records"]) == len(result.telemetry["records"])
+    assert snapshot_metric_names(loaded.telemetry) == snapshot_metric_names(
+        result.telemetry
+    )
+    assert snapshot_span_kinds(loaded.telemetry) == snapshot_span_kinds(
+        result.telemetry
+    )
+    # Stats survive alongside the payload.
+    assert loaded.sntp_stats().rmse == result.sntp_stats().rmse
+
+
+def test_result_without_telemetry_loads_as_none():
+    from repro.testbed.experiment import ExperimentResult
+
+    r = ExperimentResult(duration=1.0)
+    data = result_to_dict(r)
+    assert "telemetry" not in data
+    loaded = result_from_dict(data)
+    assert loaded.telemetry is None

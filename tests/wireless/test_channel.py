@@ -138,8 +138,8 @@ def test_interference_episode_clears_exactly_when_time_runs_out():
     ch._intf_remaining_s = 2.5
     ch._intf_rssi_dip_db = 10.0
     ch._intf_noise_lift_db = 12.0
-    for _ in range(3):  # 2.5 s of episode consumed in 1 s ticks
-        ch._step_once(ch.params.tick_s)
+    for i in range(3):  # 2.5 s of episode consumed in 1 s ticks
+        ch._step_once(ch.params.tick_s, (i + 1) * ch.params.tick_s)
     assert ch._intf_remaining_s == 0.0
     assert ch._intf_rssi_dip_db == 0.0
     assert ch._intf_noise_lift_db == 0.0
