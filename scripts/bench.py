@@ -2,13 +2,19 @@
 """Bench-trajectory harness.
 
 Runs the ``benchmarks/`` suite with the ``REPRO_BENCH_OBS`` timing hook
-armed (see ``benchmarks/conftest.py``), writes the per-module wall-clock
-totals to ``BENCH_obs.json``, and compares them against the recorded
-baseline (``benchmarks/bench-baseline.json``)::
+armed (see ``benchmarks/conftest.py``), appends the per-module
+wall-clock totals as a new run to the cumulative ``BENCH_obs.json``
+trajectory at the repo root, and compares the fresh run against the
+recorded baseline (``benchmarks/bench-baseline.json``)::
 
     python scripts/bench.py                  # full suite
     python scripts/bench.py --smoke          # fast subset (CI gate)
     python scripts/bench.py --update-baseline
+
+``BENCH_obs.json`` keeps every run (run number, mode, per-bench
+seconds, total), so performance can be tracked across commits instead
+of only gated against the latest baseline.  A pre-trajectory
+single-run document is migrated in place as run 1.
 
 Exit codes: 0 all benches within tolerance, 1 a bench regressed or the
 timing document could not be produced, 2 usage errors.
@@ -34,6 +40,7 @@ BENCH_DIR = REPO_ROOT / "benchmarks"
 DEFAULT_OUT = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_BASELINE = BENCH_DIR / "bench-baseline.json"
 BENCH_FORMAT = "mntp-bench-v1"
+TRAJECTORY_FORMAT = "mntp-bench-trajectory-v1"
 
 #: The fast subset exercised by ``--smoke`` (seconds each, not minutes).
 SMOKE_BENCHES = (
@@ -48,7 +55,8 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke subset")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help="timing document to write (BENCH_obs.json)")
+                        help="cumulative trajectory to append to "
+                        "(BENCH_obs.json)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
                         help="recorded baseline to compare against")
     parser.add_argument("--tolerance", type=float, default=0.25,
@@ -80,6 +88,51 @@ def _load_document(path: Path) -> Dict[str, float]:
     if document.get("format") != BENCH_FORMAT:
         raise ValueError(f"{path} is not a {BENCH_FORMAT} document")
     return {str(k): float(v) for k, v in document["benches"].items()}
+
+
+def _append_trajectory(
+    path: Path, measured: Dict[str, float], mode: str
+) -> int:
+    """Append one run to the cumulative trajectory; returns its number.
+
+    An existing pre-trajectory (single-run ``mntp-bench-v1``) document
+    at ``path`` is migrated in place as run 1.
+    """
+    runs: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            with open(path) as f:
+                existing = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            if existing.get("format") == TRAJECTORY_FORMAT:
+                runs = list(existing.get("runs", []))
+            elif existing.get("format") == BENCH_FORMAT:
+                benches = {
+                    str(k): float(v)
+                    for k, v in existing.get("benches", {}).items()
+                }
+                runs = [{
+                    "run": 1,
+                    "mode": "unknown",
+                    "benches": benches,
+                    "total_seconds": round(sum(benches.values()), 3),
+                }]
+    number = len(runs) + 1
+    runs.append({
+        "run": number,
+        "mode": mode,
+        "benches": {k: round(v, 3) for k, v in sorted(measured.items())},
+        "total_seconds": round(sum(measured.values()), 3),
+    })
+    with open(path, "w") as f:
+        json.dump(
+            {"format": TRAJECTORY_FORMAT, "runs": runs},
+            f, indent=2, sort_keys=True,
+        )
+        f.write("\n")
+    return number
 
 
 def _compare(
@@ -119,23 +172,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         targets = [str(BENCH_DIR)]
 
-    rc = _run_pytest(targets, args.out)
-    if not args.out.exists():
-        print(f"bench run produced no {args.out} (pytest exit {rc})",
+    # The pytest hook writes a single-run document to a scratch path;
+    # the run is then folded into the cumulative trajectory at --out.
+    run_doc = args.out.with_name(args.out.stem + "-run.json")
+    if run_doc.exists():
+        run_doc.unlink()
+    rc = _run_pytest(targets, run_doc)
+    if not run_doc.exists():
+        print(f"bench run produced no {run_doc} (pytest exit {rc})",
               file=sys.stderr)
         return 1
     try:
-        measured = _load_document(args.out)
+        measured = _load_document(run_doc)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"cannot read {args.out}: {exc}", file=sys.stderr)
+        print(f"cannot read {run_doc}: {exc}", file=sys.stderr)
         return 1
+    finally:
+        run_doc.unlink(missing_ok=True)
     if rc != 0:
         print(f"bench suite failed (pytest exit {rc})", file=sys.stderr)
         return 1
     if not measured:
         print("bench run recorded no timings", file=sys.stderr)
         return 1
-    print(f"bench timings written to {args.out}")
+    number = _append_trajectory(
+        args.out, measured, "smoke" if args.smoke else "full"
+    )
+    print(f"run {number} appended to trajectory {args.out}")
 
     if args.update_baseline:
         baseline = _load_document(args.baseline) if args.baseline.exists() else {}

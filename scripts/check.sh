@@ -35,8 +35,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     python -m pytest -x -q
 
     echo "== bench harness (smoke)"
-    # Fails if BENCH_obs.json cannot be produced or any smoke bench
-    # regresses >25% against benchmarks/bench-baseline.json.
+    # Appends a run to the BENCH_obs.json trajectory; fails if the
+    # timing document cannot be produced or any smoke bench regresses
+    # >25% against benchmarks/bench-baseline.json.
     python scripts/bench.py --smoke
 fi
 

@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional
 from repro.cellular.ran import RadioAccessNetwork, RanParams
 from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
 from repro.clock.simclock import SimClock
-from repro.net.message import Datagram, reset_datagram_ids
+from repro.net.message import Datagram
 from repro.ntp.pool import PoolDns
 from repro.ntp.server import NtpServer, ServerConfig
 from repro.ntp.sntp_client import SntpClient, SntpResult
@@ -101,9 +101,6 @@ class CellularExperiment:
     def run(self) -> "CellularResult":
         """Execute and return the SNTP offset series."""
         opts = self.options
-        # Datagram idents appear in exported trace records; restart the
-        # sequence so same-seed runs in one process stay byte-identical.
-        reset_datagram_ids()
         sim = Simulator(seed=self.seed)
         ran = RadioAccessNetwork(opts.ran, sim.rng.stream("ran"), lambda: sim.now)
         phone_clock = SimClock(
@@ -191,6 +188,10 @@ class CellularExperiment:
         result.promotions = ran.promotions
         result.gps_fixes = gps.fixes
         fixes.inc(gps.fixes)
+        # Close spans of work still in flight at the horizon (open
+        # exchanges, interference episodes) so the causal assembler sees
+        # every tree the run started.
+        sim.telemetry.spans.end_all()
         result.telemetry = sim.telemetry.snapshot()
         return result
 

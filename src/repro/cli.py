@@ -12,6 +12,7 @@ Exposes the main experiment flows without writing code::
     repro-mntp run X --telemetry out.jsonl   # export run telemetry
     repro-mntp replay run.json               # summarise an archived run
     repro-mntp trace run.json                # inspect archived telemetry
+    repro-mntp explain run.json --worst 5    # root-cause offset errors
     repro-mntp metrics run.json              # Prometheus-format metrics
     repro-mntp lint src                      # domain static analysis
 
@@ -82,6 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--limit", type=int, default=20,
                        help="max records to print (default 20)")
 
+    explain = sub.add_parser(
+        "explain",
+        help="root-cause each offset error of an archived run (causal "
+        "trees from the telemetry trace)",
+    )
+    explain.add_argument("path", help="JSON file written by 'run --save'")
+    explain.add_argument("--worst", type=int, default=5,
+                         help="how many worst samples to list (default 5)")
+    explain.add_argument("--trace-id", dest="trace_id", metavar="ID",
+                         help="print one exchange's causal tree instead")
+    explain.add_argument("--window", type=float, default=300.0,
+                         help="aggregation window in seconds (default 300)")
+    explain.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of text")
+
     metrics = sub.add_parser(
         "metrics", help="metrics of a run in Prometheus text format"
     )
@@ -149,6 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_replay(args)
     if command == "trace":
         return _cmd_trace(args)
+    if command == "explain":
+        return _cmd_explain(args)
     if command == "metrics":
         return _cmd_metrics(args)
     if command == "logstudy":
@@ -328,6 +346,56 @@ def _cmd_trace(args) -> int:
     )
     if total > shown:
         print(f"... {total - shown} more records (raise --limit)")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.obs import assemble_exchanges, decompose, explain_run, render_tree
+    from repro.testbed.persistence import load_result
+
+    try:
+        with open(args.path) as f:
+            result = load_result(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if result.telemetry is None:
+        print(f"{args.path} has no telemetry payload (saved by an older "
+              "version?)", file=sys.stderr)
+        return 2
+    samples = result.offset_samples()
+    if getattr(args, "trace_id", None):
+        matches = [
+            e for e in assemble_exchanges(result.telemetry)
+            if e.trace_id == args.trace_id
+        ]
+        if not matches:
+            print(f"no exchange with trace id {args.trace_id!r}",
+                  file=sys.stderr)
+            return 1
+        truths = {
+            (p.time, p.offset): p.truth for p in samples if p.truth == p.truth
+        }
+        for exchange in matches:
+            truth = (
+                truths.get((exchange.t1, exchange.offset))
+                if exchange.offset is not None else None
+            )
+            print(render_tree(exchange, decompose(exchange, truth)))
+        return 0
+    try:
+        report = explain_run(
+            result.telemetry, samples=samples, window_s=args.window
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if getattr(args, "json", False):
+        print(json.dumps(
+            report.to_dict(worst_n=args.worst), sort_keys=True, indent=2
+        ))
+        return 0
+    print(report.render_text(worst_n=args.worst))
     return 0
 
 

@@ -21,13 +21,25 @@ ExtraEffectFn = Callable[[], "LinkEffect"]
 
 
 class LinkEffect:
-    """Additional (delay, loss) contributed by a dynamic effect source."""
+    """Additional (delay, loss) contributed by a dynamic effect source.
 
-    __slots__ = ("extra_delay", "lost")
+    ``retry_delay`` is the portion of ``extra_delay`` caused by 802.11
+    retransmission backoff — the part attributable to interference /
+    poor SNR rather than contention queueing.  The causal tracer uses
+    the split to name the cause of a delayed packet.
+    """
 
-    def __init__(self, extra_delay: float = 0.0, lost: bool = False) -> None:
+    __slots__ = ("extra_delay", "lost", "retry_delay")
+
+    def __init__(
+        self,
+        extra_delay: float = 0.0,
+        lost: bool = False,
+        retry_delay: float = 0.0,
+    ) -> None:
         self.extra_delay = extra_delay
         self.lost = lost
+        self.retry_delay = retry_delay
 
 
 class Link:
@@ -69,14 +81,28 @@ class Link:
             datagram.dropped = True
             self.lost += 1
             self._sim.trace.emit(
-                self._sim.now, self.name, "drop", ident=datagram.ident, dst=datagram.dst
+                self._sim.now, self.name, "drop", ident=datagram.ident,
+                dst=datagram.dst, trace_id=datagram.trace_id,
             )
             return
         delay = sample.delay + effect.extra_delay
+        # Per-hop causal span: the delay is recorded split into its
+        # physical causes so obs.explain can attribute offset error.
+        span = self._sim.telemetry.spans.begin(
+            "link.transit",
+            link=self.name,
+            ident=datagram.ident,
+            trace_id=datagram.trace_id,
+            prop_s=sample.base,
+            queue_s=sample.queue + sample.spike
+            + (effect.extra_delay - effect.retry_delay),
+            intf_s=effect.retry_delay,
+        )
 
         def deliver() -> None:
             datagram.delivered_at = self._sim.now
             self.delivered += 1
+            span.end()
             self._receive(datagram)
 
         self._sim.call_after(delay, deliver, label=f"{self.name}:deliver")

@@ -3,19 +3,53 @@
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: Fallback sequence for datagrams built outside a simulator (tests,
+#: ad-hoc fixtures).  Simulation code allocates idents from the per-run
+#: :class:`DatagramIdAllocator` on the :class:`~repro.simcore.simulator.
+#: Simulator` instead, so same-seed runs are byte-identical without any
+#: process-global reset.
 _datagram_ids = itertools.count(1)
 
 
-def reset_datagram_ids() -> None:
-    """Restart datagram numbering at 1.
+class DatagramIdAllocator:
+    """Per-run datagram ident sequence (1, 2, 3, ...).
 
-    Idents land in trace records (e.g. link ``drop`` events), which are
-    exported as telemetry; experiment entry points reset the counter so
-    same-seed runs within one process stay byte-identical.
+    Each :class:`~repro.simcore.simulator.Simulator` owns one, so the
+    idents appearing in trace records are a function of the run alone —
+    not of how many runs happened earlier in the process.
     """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def allocate(self) -> int:
+        """Return the next ident in this run's sequence."""
+        ident = self._next
+        self._next += 1
+        return ident
+
+
+def reset_datagram_ids() -> None:
+    """Restart the process-global fallback numbering at 1.
+
+    .. deprecated::
+        Datagram idents are now allocated per run via
+        :class:`DatagramIdAllocator` (``sim.datagram_ids``), so nothing
+        in the repository calls this anymore.  Kept as a shim for
+        external callers of the old PR-2 API.
+    """
+    warnings.warn(
+        "reset_datagram_ids() is deprecated: idents are allocated per run "
+        "by Simulator.datagram_ids",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _datagram_ids
     _datagram_ids = itertools.count(1)
 
@@ -35,6 +69,10 @@ class Datagram:
         delivered_at: True time of delivery; None while in flight/lost.
         dropped: True if the network dropped the datagram.
         ident: Unique id for tracing request/response pairs.
+        trace_id: Causal exchange id propagated across hops; set by the
+            originating client, echoed onto replies by servers, so one
+            request/response pair reconstructs as a single tree in the
+            trace log (see :mod:`repro.obs.causal`).
     """
 
     payload: bytes
@@ -46,6 +84,7 @@ class Datagram:
     delivered_at: Optional[float] = None
     dropped: bool = False
     ident: int = field(default_factory=lambda: next(_datagram_ids))
+    trace_id: Optional[str] = None
 
     @property
     def size(self) -> int:

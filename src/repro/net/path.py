@@ -23,10 +23,19 @@ class DelaySample:
     Attributes:
         delay: One-way delay in seconds (meaningless if ``lost``).
         lost: Whether the packet was dropped.
+        base: Propagation floor component of ``delay``.
+        queue: Gamma queueing component of ``delay``.
+        spike: Bufferbloat spike component of ``delay``.
+
+    The three components sum to ``delay``; they feed the per-hop delay
+    breakdown the causal tracer records (:mod:`repro.obs.causal`).
     """
 
     delay: float
     lost: bool
+    base: float = 0.0
+    queue: float = 0.0
+    spike: float = 0.0
 
 
 class PathModel:
@@ -72,13 +81,20 @@ class PathModel:
         """Draw the fate of one packet on this path direction."""
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             return DelaySample(delay=float("inf"), lost=True)
-        delay = self.base_delay
+        queue = 0.0
+        spike = 0.0
         if self.queue_mean > 0:
             scale = self.queue_mean / self.queue_shape
-            delay += float(self._rng.gamma(self.queue_shape, scale))
+            queue = float(self._rng.gamma(self.queue_shape, scale))
         if self.spike_rate > 0 and self._rng.random() < self.spike_rate:
-            delay += float(self._rng.exponential(self.spike_scale))
-        return DelaySample(delay=delay, lost=False)
+            spike = float(self._rng.exponential(self.spike_scale))
+        return DelaySample(
+            delay=self.base_delay + queue + spike,
+            lost=False,
+            base=self.base_delay,
+            queue=queue,
+            spike=spike,
+        )
 
     def min_delay(self) -> float:
         """The propagation floor — what min-OWD filtering converges to."""

@@ -82,7 +82,8 @@ class BroadcastServer:
             transmit_ts=self.clock.read(),
         )
         self._send(Datagram(payload=packet.encode(), src=self.name,
-                            dst="broadcast"))
+                            dst="broadcast",
+                            ident=self._sim.datagram_ids.allocate()))
         self.broadcasts_sent += 1
         self._sim.call_after(self.interval, self._broadcast, label="bcast:send")
 

@@ -28,6 +28,7 @@ from repro.clock.simclock import SimClock
 from repro.net.message import Datagram
 from repro.ntp.constants import LeapIndicator, Mode
 from repro.ntp.packet import NtpPacket
+from repro.obs.spans import Span
 from repro.simcore.simulator import Simulator
 
 
@@ -117,7 +118,7 @@ class NtpServer:
             if self._rng.random() < self.config.drop_rate:
                 self._sim.trace.emit(
                     self._sim.now, f"server:{self.config.name}", "ignored",
-                    ident=datagram.ident,
+                    ident=datagram.ident, trace_id=datagram.trace_id,
                 )
                 return
         try:
@@ -127,21 +128,33 @@ class NtpServer:
         if request.mode != Mode.CLIENT:
             return
         t2 = self._read_clock()
+        # Turnaround span: request arrival through reply dispatch, tied
+        # into the exchange's causal tree via the request's trace_id.
+        span = self._sim.telemetry.spans.begin(
+            "server.turnaround", server=self.config.name,
+            ident=datagram.ident, trace_id=datagram.trace_id,
+        )
         delay = float(self._rng.exponential(self.config.processing_delay))
         self._sim.call_after(
             delay,
-            lambda: self._send_response(request, datagram, t2),
+            lambda: self._send_response(request, datagram, t2, span),
             label=f"server:{self.config.name}:respond",
         )
 
-    def _send_response(self, request: NtpPacket, datagram: Datagram, t2: float) -> None:
+    def _send_response(
+        self,
+        request: NtpPacket,
+        datagram: Datagram,
+        t2: float,
+        span: Optional["Span"] = None,
+    ) -> None:
         if self.send_reply is None:
             raise RuntimeError(f"server {self.config.name} has no reply path wired")
         if self.config.persona is ServerPersona.RATE_LIMITED:
             count = self._per_client_requests.get(datagram.src, 0) + 1
             self._per_client_requests[datagram.src] = count
             if count > self.config.rate_limit:
-                self._send_kiss_of_death(request, datagram)
+                self._send_kiss_of_death(request, datagram, span)
                 return
         t3 = self._read_clock()
         if self.config.persona is ServerPersona.UNSYNCHRONIZED:
@@ -163,8 +176,12 @@ class NtpServer:
                 dst=datagram.src,
                 src_port=datagram.dst_port,
                 dst_port=datagram.src_port,
+                ident=self._sim.datagram_ids.allocate(),
+                trace_id=datagram.trace_id,
             )
             self.responses_sent += 1
+            if span is not None:
+                span.end(outcome="unsynchronized")
             self.send_reply(reply)
             return
         response = NtpPacket(
@@ -188,11 +205,20 @@ class NtpServer:
             dst=datagram.src,
             src_port=datagram.dst_port,
             dst_port=datagram.src_port,
+            ident=self._sim.datagram_ids.allocate(),
+            trace_id=datagram.trace_id,
         )
         self.responses_sent += 1
+        if span is not None:
+            span.end(outcome="ok")
         self.send_reply(reply)
 
-    def _send_kiss_of_death(self, request: NtpPacket, datagram: Datagram) -> None:
+    def _send_kiss_of_death(
+        self,
+        request: NtpPacket,
+        datagram: Datagram,
+        span: Optional["Span"] = None,
+    ) -> None:
         """Stratum-0 RATE response telling the client to back off."""
         kod = NtpPacket(
             leap=LeapIndicator.ALARM,
@@ -211,6 +237,10 @@ class NtpServer:
             dst=datagram.src,
             src_port=datagram.dst_port,
             dst_port=datagram.src_port,
+            ident=self._sim.datagram_ids.allocate(),
+            trace_id=datagram.trace_id,
         )
         self.kod_sent += 1
+        if span is not None:
+            span.end(outcome="kod")
         self.send_reply(reply)

@@ -19,6 +19,7 @@ from repro.net.message import Datagram
 from repro.ntp.constants import LeapIndicator, Mode
 from repro.ntp.packet import NtpPacket
 from repro.ntp.wire import OffsetSample, sample_from_exchange
+from repro.obs.spans import Span
 from repro.simcore.events import Event
 from repro.simcore.simulator import Simulator
 
@@ -80,6 +81,8 @@ class SntpClient:
         # Outstanding queries keyed by the ephemeral source port.
         self._pending: Dict[int, "_PendingQuery"] = {}
         self._next_port = 10_000
+        # Per-client exchange sequence feeding causal trace ids.
+        self._trace_seq = 0
         # Servers that sent kiss-of-death: name -> earliest retry time.
         self._kod_until: Dict[str, float] = {}
         self.queries_sent = 0
@@ -118,8 +121,17 @@ class SntpClient:
         payload = request.encode()
         port = self._next_port
         self._next_port = 10_000 + (self._next_port - 9_999) % 50_000
+        self._trace_seq += 1
+        trace_id = f"{self.name}/{self._trace_seq}"
         datagram = Datagram(
-            payload=payload, src=self.name, dst=server_name, src_port=port
+            payload=payload, src=self.name, dst=server_name, src_port=port,
+            ident=self._sim.datagram_ids.allocate(), trace_id=trace_id,
+        )
+        # Root span of the exchange's causal tree; hop and server spans
+        # link to it through the shared trace_id.
+        span = self._sim.telemetry.spans.begin(
+            "sntp.exchange", trace_id=trace_id, client=self.name,
+            server=server_name,
         )
 
         pending = _PendingQuery(
@@ -128,6 +140,8 @@ class SntpClient:
             server_name=server_name,
             callback=callback,
             timeout_event=None,
+            trace_id=trace_id,
+            span=span,
         )
         pending.timeout_event = self._sim.call_after(
             timeout, lambda: self._on_timeout(port), label="sntp:timeout"
@@ -151,6 +165,7 @@ class SntpClient:
         try:
             response = NtpPacket.decode(datagram.payload, pivot_unix=self._sim.now)
         except ValueError:
+            pending.span.end(outcome="malformed", server=datagram.src)
             pending.callback(
                 SntpResult(sample=None, server_name=pending.server_name, timed_out=False)
             )
@@ -164,17 +179,20 @@ class SntpClient:
                 self._kod_until[pending.server_name] = (
                     self._sim.now + self.kod_backoff
                 )
+            pending.span.end(outcome="kod", server=datagram.src)
             pending.callback(
                 SntpResult(sample=None, server_name=datagram.src,
                            kiss_of_death=True)
             )
             return
         if response.mode != Mode.SERVER:
+            pending.span.end(outcome="bad_mode", server=datagram.src)
             pending.callback(
                 SntpResult(sample=None, server_name=pending.server_name, timed_out=False)
             )
             return
         if response.leap == LeapIndicator.ALARM or response.stratum >= 16:
+            pending.span.end(outcome="unsynchronized", server=datagram.src)
             pending.callback(
                 SntpResult(sample=None, server_name=datagram.src,
                            unsynchronized=True)
@@ -183,6 +201,10 @@ class SntpClient:
         t4 = self.clock.read()
         self.responses_received += 1
         sample = sample_from_exchange(pending.t1, response, t4)
+        pending.span.end(
+            outcome="ok", server=datagram.src,
+            offset=sample.offset, delay=sample.delay,
+        )
         pending.callback(
             SntpResult(sample=sample, server_name=datagram.src, timed_out=False)
         )
@@ -192,6 +214,7 @@ class SntpClient:
         if pending is None:
             return
         self.timeouts += 1
+        pending.span.end(outcome="timeout")
         pending.callback(
             SntpResult(sample=None, server_name=pending.server_name, timed_out=True)
         )
@@ -200,7 +223,10 @@ class SntpClient:
 class _PendingQuery:
     """Book-keeping for one in-flight query."""
 
-    __slots__ = ("t1", "t1_wire", "server_name", "callback", "timeout_event")
+    __slots__ = (
+        "t1", "t1_wire", "server_name", "callback", "timeout_event",
+        "trace_id", "span",
+    )
 
     def __init__(
         self,
@@ -209,12 +235,16 @@ class _PendingQuery:
         server_name: str,
         callback: Callable[[SntpResult], None],
         timeout_event: Optional[Event],
+        trace_id: str,
+        span: "Span",
     ) -> None:
         self.t1 = t1
         self.t1_wire = t1_wire
         self.server_name = server_name
         self.callback = callback
         self.timeout_event = timeout_event
+        self.trace_id = trace_id
+        self.span = span
 
 
 @dataclass

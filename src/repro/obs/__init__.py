@@ -33,6 +33,32 @@ from repro.obs.exporters import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.taxonomy import (
+    METRIC_UNIT_SUFFIXES,
+    SPAN_KINDS,
+    SPAN_SUBSYSTEMS,
+    metric_name_conforms,
+    span_kind_registered,
+    span_subsystem,
+)
+from repro.obs.causal import (
+    Exchange,
+    Hop,
+    InterferenceEpisode,
+    Turnaround,
+    assemble_exchanges,
+    completeness,
+)
+from repro.obs.explain import (
+    CAUSES,
+    EXPLAIN_FORMAT,
+    Decomposition,
+    ExplainReport,
+    WindowAgg,
+    decompose,
+    explain_run,
+    render_tree,
+)
 
 __all__ = [
     "Counter",
@@ -56,4 +82,24 @@ __all__ = [
     "render_prometheus",
     "write_chrome_trace",
     "write_jsonl",
+    "METRIC_UNIT_SUFFIXES",
+    "SPAN_KINDS",
+    "SPAN_SUBSYSTEMS",
+    "metric_name_conforms",
+    "span_kind_registered",
+    "span_subsystem",
+    "Exchange",
+    "Hop",
+    "InterferenceEpisode",
+    "Turnaround",
+    "assemble_exchanges",
+    "completeness",
+    "CAUSES",
+    "EXPLAIN_FORMAT",
+    "Decomposition",
+    "ExplainReport",
+    "WindowAgg",
+    "decompose",
+    "explain_run",
+    "render_tree",
 ]

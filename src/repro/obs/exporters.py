@@ -133,7 +133,10 @@ def chrome_trace_events(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
                     "pid": 1,
                     "tid": tid_of(track),
                     "ts": round(float(data.get("t0", record["t"])) * 1e6, 3),
-                    "dur": round(float(data.get("dur", 0.0)) * 1e6, 3),
+                    # Zero-duration spans (begin+end in one event) are
+                    # legal; clamp so float noise can't go negative,
+                    # which the trace viewer rejects.
+                    "dur": round(max(0.0, float(data.get("dur", 0.0))) * 1e6, 3),
                     "args": {
                         k: v for k, v in data.items() if k not in ("t0", "t1", "dur")
                     },
@@ -176,21 +179,38 @@ def _format_value(value: float) -> str:
     return str(as_int) if value == as_int else repr(value)
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the exposition format (``\\`` and LF)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Escape a label value (``\\``, ``"`` and LF)."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def render_prometheus(snapshot: Dict[str, Any]) -> str:
     """Metrics of a snapshot in the Prometheus text exposition format."""
     lines: List[str] = []
     for metric in snapshot.get("metrics", []):
         name = metric["name"]
         if metric.get("help"):
-            lines.append(f"# HELP {name} {metric['help']}")
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
         lines.append(f"# TYPE {name} {metric['type']}")
         if metric["type"] == "histogram":
             running = 0
             for bound, count in zip(metric["bounds"], metric["bucket_counts"]):
                 running += count
-                lines.append(f'{name}_bucket{{le="{_format_value(float(bound))}"}} {running}')
-            running += metric["bucket_counts"][-1]
-            lines.append(f'{name}_bucket{{le="+Inf"}} {running}')
+                le = _escape_label_value(_format_value(float(bound)))
+                lines.append(f'{name}_bucket{{le="{le}"}} {running}')
+            # +Inf is the sum over *all* buckets (including overflow),
+            # which keeps the series monotone even for snapshots whose
+            # bucket_counts and bounds are the same length.
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {sum(metric["bucket_counts"])}'
+            )
             lines.append(f"{name}_sum {_format_value(metric['sum'])}")
             lines.append(f"{name}_count {metric['count']}")
         else:

@@ -103,7 +103,8 @@ class PtpMaster:
         # Hardware timestamp captured as the frame leaves the port.
         t1 = self.clock.read()
         self._send(Datagram(payload=sync.encode(), src="ptp-master",
-                            dst="ptp-slave", dst_port=319))
+                            dst="ptp-slave", dst_port=319,
+                            ident=self._sim.datagram_ids.allocate()))
         follow_up = PtpHeader(
             message_type=PtpMessageType.FOLLOW_UP,
             sequence_id=seq,
@@ -111,7 +112,8 @@ class PtpMaster:
             timestamp=t1,
         )
         self._send(Datagram(payload=follow_up.encode(), src="ptp-master",
-                            dst="ptp-slave", dst_port=320))
+                            dst="ptp-slave", dst_port=320,
+                            ident=self._sim.datagram_ids.allocate()))
         self.syncs_sent += 1
         self._sim.call_after(self.sync_interval, self._emit_sync, label="ptp:sync")
 
@@ -133,7 +135,8 @@ class PtpMaster:
         )
         self.delay_resps_sent += 1
         self._send(Datagram(payload=resp.encode(), src="ptp-master",
-                            dst=datagram.src, dst_port=320))
+                            dst=datagram.src, dst_port=320,
+                            ident=self._sim.datagram_ids.allocate()))
 
 
 class PtpSlave:
@@ -198,7 +201,8 @@ class PtpSlave:
                 source_port_identity=self.identity,
             )
             self._send(Datagram(payload=req.encode(), src="ptp-slave",
-                                dst="ptp-master", dst_port=319))
+                                dst="ptp-master", dst_port=319,
+                                ident=self._sim.datagram_ids.allocate()))
 
     def _complete(self, seq: int, t4: float) -> None:
         t1 = self._t1.pop(seq, None)

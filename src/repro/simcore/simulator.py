@@ -104,17 +104,22 @@ class Simulator:
         trace: Structured log of component events (optional use).
         telemetry: Metrics/span bundle on this simulator's virtual
             clock, sharing :attr:`trace` (see :mod:`repro.obs`).
+        datagram_ids: Per-run datagram ident sequence; network senders
+            allocate from here so trace records carry run-local idents
+            and same-seed runs stay byte-identical within one process.
     """
 
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
-        # Imported here, not at module scope: repro.obs depends on
-        # repro.simcore.trace, so a top-level import would be circular.
+        # Imported here, not at module scope: repro.obs and repro.net
+        # depend on repro.simcore, so top-level imports would be circular.
+        from repro.net.message import DatagramIdAllocator
         from repro.obs.telemetry import Telemetry
 
         self.now = float(start_time)
         self._queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog()
+        self.datagram_ids = DatagramIdAllocator()
         self.telemetry = Telemetry(now_fn=lambda: self.now, trace=self.trace)
         self._events_total = self.telemetry.metrics.counter(
             "sim_events_total", "events executed by the simulator loop"

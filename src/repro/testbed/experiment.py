@@ -105,6 +105,10 @@ class ExperimentResult:
         telemetry: Frozen :meth:`repro.obs.Telemetry.snapshot` of the
             run (metrics + trace/span records); None for results built
             outside :class:`ExperimentRunner`.
+        explain: Compact root-cause report embedded by persistence in
+            archived runs (see :mod:`repro.obs.explain`); None on live
+            results — call :func:`repro.obs.explain_run` on
+            ``telemetry`` instead.
     """
 
     sntp: List[OffsetPoint] = field(default_factory=list)
@@ -113,6 +117,7 @@ class ExperimentResult:
     true_offsets: List[OffsetPoint] = field(default_factory=list)
     duration: float = 0.0
     telemetry: Optional[Dict[str, Any]] = None
+    explain: Optional[Dict[str, Any]] = None
 
     # -- derived series --------------------------------------------------
 
@@ -135,6 +140,22 @@ class ExperimentResult:
     def _truth_of(self, report: MntpReport) -> float:
         truth = getattr(report, "truth", None)
         return float("nan") if truth is None else truth
+
+    def offset_samples(self) -> List[OffsetPoint]:
+        """Every per-exchange offset observation with its ground truth.
+
+        The SNTP series plus regular-phase MNTP reports — the samples
+        that correspond one-to-one to a single SNTP exchange and can be
+        joined to its causal tree by (time, offset).  Warm-up MNTP
+        reports combine several pool exchanges and are excluded.
+        """
+        points = list(self.sntp)
+        points.extend(
+            OffsetPoint(r.time, r.offset, self._truth_of(r))
+            for r in self.mntp_reports
+            if r.phase.value == "regular"
+        )
+        return points
 
     def mntp_corrected_drift(self) -> List[OffsetPoint]:
         """The paper's 'clock corrected drift values': residuals of
@@ -247,6 +268,10 @@ class ExperimentRunner:
         testbed.stop_background()
         if self.mntp is not None:
             self.mntp.stop()
+        # Close spans of work still in flight at the horizon (open
+        # exchanges, link transits, interference episodes) so the causal
+        # assembler sees every tree the run started.
+        sim.telemetry.spans.end_all()
         result.telemetry = sim.telemetry.snapshot()
         return result
 

@@ -24,7 +24,7 @@ from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
 from repro.clock.simclock import SimClock
 from repro.clock.temperature import ConstantTemperature, TemperatureProfile
 from repro.net.link import Link
-from repro.net.message import Datagram, reset_datagram_ids
+from repro.net.message import Datagram
 from repro.net.path import PathModel
 from repro.ntp.discipline import ClockDiscipline
 from repro.ntp.pool import PoolDns
@@ -89,9 +89,6 @@ class Testbed:
     __test__ = False  # not a pytest class, despite the name
 
     def __init__(self, sim: Simulator, options: TestbedOptions = TestbedOptions()) -> None:
-        # Datagram idents appear in exported trace records; restart the
-        # sequence so same-seed runs in one process stay byte-identical.
-        reset_datagram_ids()
         self.sim = sim
         self.options = options
         self.dns = PoolDns(sim.rng.stream("pooldns"))

@@ -12,9 +12,13 @@ import json
 from typing import IO, Any, Dict
 
 from repro.core.protocol import MntpPhase, MntpReport
+from repro.obs.explain import explain_run
 from repro.testbed.experiment import ExperimentResult, OffsetPoint
 
 FORMAT = "mntp-experiment-v1"
+
+#: Worst-sample depth of the embedded explain report.
+_EXPLAIN_WORST_N = 5
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
@@ -22,7 +26,10 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
 
     The run's telemetry snapshot rides along under ``"telemetry"``
     when present, so archived runs stay inspectable with
-    ``repro-mntp trace`` / ``repro-mntp metrics``.
+    ``repro-mntp trace`` / ``repro-mntp metrics``; a compact
+    root-cause report (``repro.obs.explain``) is embedded under
+    ``"explain"`` so archives answer "why was this run noisy?"
+    without re-assembly.
     """
     out = {
         "format": FORMAT,
@@ -34,6 +41,9 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     }
     if result.telemetry is not None:
         out["telemetry"] = result.telemetry
+        out["explain"] = explain_run(
+            result.telemetry, samples=result.offset_samples()
+        ).to_dict(worst_n=_EXPLAIN_WORST_N)
     return out
 
 
@@ -49,6 +59,7 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
     result.true_offsets = [_point_from(d) for d in data.get("true_offsets", [])]
     result.mntp_reports = [_report_from(d) for d in data.get("mntp_reports", [])]
     result.telemetry = data.get("telemetry")
+    result.explain = data.get("explain")
     return result
 
 

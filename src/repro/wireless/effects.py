@@ -101,12 +101,13 @@ class ChannelEffects:
             return LinkEffect(lost=True)
 
         delay = float(self._rng.exponential(p.base_jitter_s))
-        delay += retries * p.retry_delay_s * float(self._rng.uniform(0.7, 1.5))
+        retry_delay = retries * p.retry_delay_s * float(self._rng.uniform(0.7, 1.5))
+        delay += retry_delay
         if occupancy > 0:
             # Queueing behind cross-traffic: heavy-tailed in occupancy.
             mean_q = p.contention_delay_s * (occupancy ** 2) / max(0.05, 1.0 - occupancy)
             delay += float(self._rng.exponential(mean_q)) if mean_q > 0 else 0.0
-        return LinkEffect(extra_delay=delay, lost=False)
+        return LinkEffect(extra_delay=delay, lost=False, retry_delay=retry_delay)
 
     def as_hook(self) -> Callable[[], LinkEffect]:
         """Adapter for :class:`repro.net.link.Link`'s ``effect_hook``."""

@@ -1,4 +1,4 @@
-"""OBS001: bare print() in library packages."""
+"""OBS001 (bare print) and OBS002 (telemetry taxonomy) rules."""
 
 from repro.analysis import check_source
 
@@ -40,3 +40,94 @@ def test_method_named_print_not_flagged():
 def test_message_names_the_module():
     findings = check_source(PRINTING, module="repro.wireless.channel")
     assert any("repro.wireless.channel" in f.message for f in findings)
+
+
+# -- OBS002: span-kind taxonomy + metric naming ---------------------------
+
+
+def test_unregistered_span_kind_flagged():
+    src = 'def f(sim):\n    sim.telemetry.spans.begin("mntp.mystery")\n'
+    assert rules_for(src, "repro.core.protocol") == ["OBS002"]
+
+
+def test_registered_span_kinds_pass():
+    src = (
+        "def f(sim):\n"
+        '    sim.telemetry.spans.begin("sntp.exchange", trace_id="c/1")\n'
+        '    with sim.telemetry.spans.span("tuner.tune"):\n'
+        "        pass\n"
+    )
+    assert rules_for(src, "repro.tuner.autotune") == []
+
+
+def test_dynamic_span_kind_skipped():
+    src = "def f(sim, name):\n    sim.telemetry.spans.begin(name)\n"
+    assert rules_for(src, "repro.core.protocol") == []
+    src = 'def f(sim, k):\n    sim.telemetry.spans.begin(f"mntp.{k}")\n'
+    assert rules_for(src, "repro.core.protocol") == []
+
+
+def test_counter_without_total_suffix_flagged():
+    src = 'def f(m):\n    m.metrics.counter("sntp_queries")\n'
+    assert rules_for(src, "repro.ntp.server") == ["OBS002"]
+
+
+def test_counter_fstring_tail_checked():
+    ok = 'def f(m, k):\n    m.metrics.counter(f"mntp_{k}_total")\n'
+    assert rules_for(ok, "repro.core.protocol") == []
+    bad = 'def f(m, k):\n    m.metrics.counter(f"mntp_{k}_count")\n'
+    assert rules_for(bad, "repro.core.protocol") == ["OBS002"]
+
+
+def test_gauge_requires_unit_suffix():
+    assert rules_for(
+        'def f(m):\n    m.metrics.gauge("drift")\n', "repro.core.protocol"
+    ) == ["OBS002"]
+    assert rules_for(
+        'def f(m):\n    m.metrics.gauge("drift_ppm")\n', "repro.core.protocol"
+    ) == []
+
+
+def test_gauge_must_not_end_in_total():
+    src = 'def f(m):\n    m.metrics.gauge("events_total")\n'
+    findings = check_source(src, module="repro.core.protocol")
+    assert [f.rule for f in findings] == ["OBS002"]
+    assert "reserved for counters" in findings[0].message
+
+
+def test_histogram_unit_suffix():
+    assert rules_for(
+        'def f(m):\n    m.metrics.histogram("residual_ms")\n',
+        "repro.core.protocol",
+    ) == []
+    assert rules_for(
+        'def f(m):\n    m.metrics.histogram("residual")\n',
+        "repro.core.protocol",
+    ) == ["OBS002"]
+
+
+def test_obs002_scoped_to_repro_modules():
+    src = 'def f(m):\n    m.metrics.counter("oops")\n'
+    assert rules_for(src, "scratch") == []
+    assert rules_for(src, "tests.obs.test_metrics") == []
+
+
+def test_obs002_ignores_unrelated_receivers():
+    src = (
+        "def f(db, spans):\n"
+        '    db.begin("transaction")\n'
+        '    spans.begin("not.registered")\n'
+    )
+    # Only the receiver actually named 'spans' is checked.
+    findings = check_source(src, module="repro.core.protocol")
+    assert len(findings) == 1
+    assert "not.registered" in findings[0].message
+
+
+def test_noqa_suppresses_obs002():
+    src = (
+        "def f(sim):\n"
+        '    sim.telemetry.spans.begin("x.y")  '
+        "# repro: noqa[OBS002] migration shim\n"
+    )
+    assert rules_for(src, "repro.core.protocol") == []

@@ -1,0 +1,37 @@
+"""Datagram idents: per-run allocation, fallback sequence, trace ids."""
+
+import pytest
+
+from repro.net.message import Datagram, DatagramIdAllocator, reset_datagram_ids
+from repro.simcore.simulator import Simulator
+
+
+def test_allocator_counts_from_one():
+    alloc = DatagramIdAllocator()
+    assert [alloc.allocate() for _ in range(3)] == [1, 2, 3]
+
+
+def test_each_simulator_gets_a_fresh_sequence():
+    a, b = Simulator(seed=1), Simulator(seed=1)
+    assert a.datagram_ids.allocate() == 1
+    assert a.datagram_ids.allocate() == 2
+    # A second run in the same process starts over — no global bleed.
+    assert b.datagram_ids.allocate() == 1
+
+
+def test_datagram_trace_id_defaults_to_none():
+    d = Datagram(payload=b"x", src="a", dst="b")
+    assert d.trace_id is None
+    assert Datagram(payload=b"x", src="a", dst="b", trace_id="c/1").trace_id == "c/1"
+
+
+def test_fallback_idents_unique_without_simulator():
+    a = Datagram(payload=b"x", src="a", dst="b")
+    b = Datagram(payload=b"x", src="a", dst="b")
+    assert a.ident != b.ident
+
+
+def test_reset_shim_warns_and_restarts_fallback():
+    with pytest.warns(DeprecationWarning):
+        reset_datagram_ids()
+    assert Datagram(payload=b"x", src="a", dst="b").ident == 1

@@ -88,3 +88,84 @@ def test_prometheus_rendering():
 
 def test_prometheus_empty_snapshot():
     assert render_prometheus({"metrics": [], "records": []}) == ""
+
+
+def test_prometheus_escapes_help_text():
+    telemetry = Telemetry.standalone()
+    telemetry.metrics.counter(
+        "esc_total", help='multi\nline with \\ backslash and "quotes"'
+    ).inc()
+    text = render_prometheus(telemetry.snapshot())
+    # HELP escapes backslash and newline; quotes pass through unescaped.
+    assert (
+        '# HELP esc_total multi\\nline with \\\\ backslash and "quotes"'
+        in text
+    )
+    assert "\nline" not in text.replace("\\n", "")
+
+
+def test_prometheus_histogram_inf_bucket_is_monotone():
+    telemetry = Telemetry.standalone()
+    hist = telemetry.metrics.histogram("m_ms", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 50.0, 60.0, 70.0):
+        hist.observe(value)
+    text = render_prometheus(telemetry.snapshot())
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("m_ms_bucket")
+    ]
+    assert counts == sorted(counts)  # cumulative series never decreases
+    assert counts[-1] == 6  # +Inf equals the total observation count
+    assert "m_ms_count 6" in text
+
+
+def test_prometheus_inf_bucket_tolerates_missing_overflow_entry():
+    # A hand-built snapshot whose bucket_counts matches bounds in length
+    # (no explicit overflow slot) must still render a monotone series.
+    snapshot = {
+        "metrics": [{
+            "name": "odd_ms", "type": "histogram", "help": "",
+            "bounds": [1.0, 10.0], "bucket_counts": [2, 3],
+            "sum": 20.0, "count": 5,
+        }],
+        "records": [],
+    }
+    text = render_prometheus(snapshot)
+    assert 'odd_ms_bucket{le="1"} 2' in text
+    assert 'odd_ms_bucket{le="10"} 5' in text
+    assert 'odd_ms_bucket{le="+Inf"} 5' in text  # not double-counted
+
+
+def test_prometheus_label_value_escaping():
+    from repro.obs.exporters import _escape_label_value
+
+    assert _escape_label_value('a"b') == 'a\\"b'
+    assert _escape_label_value("a\\b") == "a\\\\b"
+    assert _escape_label_value("a\nb") == "a\\nb"
+    assert _escape_label_value("plain") == "plain"
+
+
+def test_chrome_trace_zero_duration_span():
+    telemetry = Telemetry.standalone()
+    span = telemetry.spans.begin("mntp.query")
+    span.end()  # same manual tick: zero duration
+    events = chrome_trace_events(telemetry.snapshot())
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 1
+    assert complete[0]["dur"] == 0.0  # present, zero, and non-negative
+
+
+def test_chrome_trace_clamps_negative_duration():
+    # Durations cannot go negative in practice (SpanTracer clamps), but
+    # the exporter guards hand-built snapshots too.
+    snapshot = {
+        "metrics": [],
+        "records": [{
+            "t": 1.0, "component": "span", "kind": "mntp.query",
+            "data": {"t0": 1.0, "t1": 1.0, "dur": -1e-9},
+        }],
+    }
+    events = chrome_trace_events(snapshot)
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete[0]["dur"] == 0.0

@@ -1,0 +1,50 @@
+"""The bench harness's cumulative BENCH_obs.json trajectory."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+
+def load_bench_module():
+    path = Path(__file__).resolve().parent.parent / "scripts" / "bench.py"
+    spec = importlib.util.spec_from_file_location("bench_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_trajectory_appends_runs(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_obs.json"
+    assert bench._append_trajectory(out, {"a": 1.0, "b": 2.0}, "smoke") == 1
+    assert bench._append_trajectory(out, {"a": 1.1, "b": 2.2}, "full") == 2
+    doc = json.loads(out.read_text())
+    assert doc["format"] == bench.TRAJECTORY_FORMAT
+    assert [r["run"] for r in doc["runs"]] == [1, 2]
+    assert [r["mode"] for r in doc["runs"]] == ["smoke", "full"]
+    assert doc["runs"][0]["total_seconds"] == 3.0
+    assert doc["runs"][1]["benches"] == {"a": 1.1, "b": 2.2}
+
+
+def test_trajectory_migrates_single_run_document(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_obs.json"
+    out.write_text(json.dumps(
+        {"format": bench.BENCH_FORMAT, "benches": {"old": 4.0}}
+    ))
+    assert bench._append_trajectory(out, {"new": 1.0}, "smoke") == 2
+    doc = json.loads(out.read_text())
+    assert doc["runs"][0] == {
+        "run": 1, "mode": "unknown", "benches": {"old": 4.0},
+        "total_seconds": 4.0,
+    }
+    assert doc["runs"][1]["benches"] == {"new": 1.0}
+
+
+def test_trajectory_recovers_from_corrupt_file(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_obs.json"
+    out.write_text("{ not json")
+    assert bench._append_trajectory(out, {"a": 1.0}, "smoke") == 1
+    doc = json.loads(out.read_text())
+    assert len(doc["runs"]) == 1

@@ -209,3 +209,58 @@ def test_autotune_telemetry(tmp_path, capsys):
         snap = load_jsonl(f)
     kinds = snapshot_span_kinds(snap)
     assert "tuner.tune" in kinds and "tuner.eval" in kinds
+
+
+def test_explain_subcommand(tmp_path, capsys):
+    import json
+
+    run_path = tmp_path / "run.json"
+    assert main(["--seed", "3", "run", "mntp_wireless_corrected",
+                 "--save", str(run_path)]) == 0
+    capsys.readouterr()
+
+    assert main(["explain", str(run_path)]) == 0
+    out = capsys.readouterr().out
+    assert "complete causal trees" in out
+    assert "cause=" in out
+
+    assert main(["explain", str(run_path), "--worst", "3", "--json"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out)
+    assert report["format"] == "mntp-explain-v1"
+    assert report["coverage"] >= 0.95            # acceptance bar
+    assert len(report["worst"]) == 3
+    assert all(w["dominant_cause"] for w in report["worst"])
+
+    trace_id = report["worst"][0]["trace_id"]
+    assert main(["explain", str(run_path), "--trace-id", trace_id]) == 0
+    out = capsys.readouterr().out
+    assert f"sntp.exchange {trace_id}" in out
+    assert "link.transit request" in out
+    assert "server.turnaround" in out
+
+
+def test_explain_unknown_trace_id(tmp_path, capsys):
+    run_path = tmp_path / "run.json"
+    assert main(["--seed", "1", "run", "wired_corrected",
+                 "--save", str(run_path)]) == 0
+    capsys.readouterr()
+    assert main(["explain", str(run_path), "--trace-id", "nope/99"]) == 1
+    assert "no exchange with trace id" in capsys.readouterr().err
+
+
+def test_explain_without_telemetry_payload(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({
+        "format": "mntp-experiment-v1", "duration": 1.0,
+        "sntp": [], "true_offsets": [], "mntp_reports": [],
+    }))
+    assert main(["explain", str(path)]) == 2
+    assert "no telemetry payload" in capsys.readouterr().err
+
+
+def test_explain_missing_file(capsys):
+    assert main(["explain", "does-not-exist.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err

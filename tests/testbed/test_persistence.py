@@ -94,5 +94,26 @@ def test_result_without_telemetry_loads_as_none():
     r = ExperimentResult(duration=1.0)
     data = result_to_dict(r)
     assert "telemetry" not in data
+    assert "explain" not in data
     loaded = result_from_dict(data)
     assert loaded.telemetry is None
+    assert loaded.explain is None
+
+
+def test_save_embeds_explain_report(result):
+    data = result_to_dict(result)
+    explain = data["explain"]
+    assert explain["format"] == "mntp-explain-v1"
+    assert explain["coverage"] >= 0.95
+    assert explain["exchanges_total"] > 0
+    assert explain["worst"] and explain["worst"][0]["dominant_cause"]
+    # Round-trips verbatim.
+    loaded = result_from_dict(data)
+    assert loaded.explain == explain
+    # And matches a fresh computation from the archived telemetry.
+    from repro.obs import explain_run
+
+    fresh = explain_run(
+        loaded.telemetry, samples=loaded.offset_samples()
+    ).to_dict(worst_n=5)
+    assert fresh == explain
