@@ -39,6 +39,11 @@ if [[ "${1:-}" != "--fast" ]]; then
     # timing document cannot be produced or any smoke bench regresses
     # >25% against benchmarks/bench-baseline.json.
     python scripts/bench.py --smoke
+
+    echo "== chaos gate (smoke fault matrix)"
+    # Exit 1 if hardened MNTP fails to recover from any smoke-matrix
+    # episode; see docs/ROBUSTNESS.md.
+    python -m repro.cli chaos --smoke --json > /dev/null
 fi
 
 echo "== all checks passed"

@@ -35,6 +35,7 @@ def all_rules() -> Dict[str, "Type[Rule]"]:
         from repro.analysis.rules import correctness  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import determinism  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import observability  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import robustness  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import units  # noqa: F401  # repro: noqa[COR004]
 
         _LOADED = True

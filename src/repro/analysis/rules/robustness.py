@@ -1,0 +1,89 @@
+"""Robustness rules.
+
+Fault handling in library code must be explicit and bounded.  A bare
+``except:`` swallows everything — including ``KeyboardInterrupt``,
+``SystemExit`` and the simulator's own invariant errors — turning an
+injected fault into silent corruption instead of a visible failure, so
+:class:`BareExceptRule` forbids it.  Likewise, a wait is only robust if
+it can end: a ``timeout=`` or ``poll_interval=`` literal that is zero
+or negative either never fires or spins, and under a blackout or
+server-death fault the caller hangs forever.  Both patterns are exactly
+the ones the fault-injection matrix (:mod:`repro.faults`) exists to
+flush out, so ROB001 keeps them from entering the library in the first
+place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.rules import register
+
+#: Keyword arguments naming a bounded wait; a non-positive literal
+#: makes the wait degenerate (never fires or busy-spins).
+WAIT_KEYWORDS = frozenset({"timeout", "poll_interval"})
+
+
+def _literal_number(node: ast.expr) -> Optional[float]:
+    """The numeric value of a literal expression, None if dynamic.
+
+    Handles plain constants and a leading unary minus; booleans are not
+    numbers here.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+@register
+class BareExceptRule(Rule):
+    """Forbid bare ``except:`` and degenerate wait literals."""
+
+    rule_id = "ROB001"
+    summary = (
+        "no bare 'except:' in library code (name the exceptions; bare "
+        "handlers swallow faults and interrupts), and no literal "
+        "timeout=/poll_interval= <= 0 (a wait must be able to end)"
+    )
+
+    def run(self) -> List[Finding]:
+        """Only ``repro`` library modules are in scope.
+
+        Scripts, tests, and benchmarks live outside the ``repro``
+        package and are never matched; within it, no module is exempt —
+        robustness conventions apply to the CLI and analysis layers too.
+        """
+        if len(self.module.module) < 2 or self.module.module[0] != "repro":
+            return []
+        return super().run()
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Flag ``except:`` with no exception type."""
+        if node.type is None:
+            self.report(
+                node,
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit and "
+                "hides injected faults; catch named exception types",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag literal non-positive ``timeout=`` / ``poll_interval=``."""
+        for keyword in node.keywords:
+            if keyword.arg not in WAIT_KEYWORDS:
+                continue
+            value = _literal_number(keyword.value)
+            if value is not None and value <= 0:
+                self.report(
+                    keyword.value,
+                    f"literal {keyword.arg}={value:g} never expires (or "
+                    "spins); waits in library code must be positive and "
+                    "bounded",
+                )
+        self.generic_visit(node)

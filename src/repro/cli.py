@@ -14,6 +14,7 @@ Exposes the main experiment flows without writing code::
     repro-mntp trace run.json                # inspect archived telemetry
     repro-mntp explain run.json --worst 5    # root-cause offset errors
     repro-mntp metrics run.json              # Prometheus-format metrics
+    repro-mntp chaos --smoke                 # fault-matrix survival run
     repro-mntp lint src                      # domain static analysis
 
 Summaries print as tables by default; ``--json`` on ``run``, ``replay``
@@ -144,6 +145,32 @@ def _build_parser() -> argparse.ArgumentParser:
     autotune.add_argument("--telemetry", metavar="PATH",
                           help="export tuning telemetry as JSONL")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection matrix: plain SNTP vs hardened "
+        "MNTP, with a per-episode survival report (see "
+        "docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument("--smoke", action="store_true",
+                       help="reduced matrix + duration (the CI gate)")
+    chaos.add_argument("--faults", metavar="PATH",
+                       help="load a custom FaultSchedule JSON instead of "
+                       "the default matrix")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="virtual seconds to simulate (default matches "
+                       "the matrix)")
+    chaos.add_argument("--threshold-ms", dest="threshold_ms", type=float,
+                       default=25.0,
+                       help="recovery bar on |error| (default 25 ms)")
+    chaos.add_argument("--grace", type=float, default=None,
+                       help="settling seconds after an episode before "
+                       "judging recovery (default 90, smoke 60)")
+    chaos.add_argument("--save", metavar="PATH",
+                       help="write the survival report JSON to a file")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full report as JSON instead of "
+                       "the table")
+
     lint = sub.add_parser(
         "lint",
         help="run the repro static-analysis rules (determinism, time-unit "
@@ -179,6 +206,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_autotune(args)
     if command == "calibrate":
         return _cmd_calibrate(args)
+    if command == "chaos":
+        return _cmd_chaos(args)
     if command == "lint":
         return run_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
@@ -527,6 +556,69 @@ def _cmd_calibrate(args) -> int:
     print("calibration OUT OF BAND — see DESIGN.md §2 before trusting "
           "figure benches")
     return 1
+
+
+def _cmd_chaos(args) -> int:
+    from repro.faults import ChaosOptions, FaultSchedule, run_chaos
+    from repro.faults.chaos import report_to_json
+
+    schedule = None
+    if getattr(args, "faults", None):
+        try:
+            with open(args.faults) as f:
+                schedule = FaultSchedule.from_json(f.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.faults}: {exc}", file=sys.stderr)
+            return 2
+    grace = args.grace
+    if grace is None:
+        grace = 60.0 if args.smoke else 90.0
+    report = run_chaos(
+        ChaosOptions(
+            seed=args.seed,
+            duration=args.duration,
+            threshold_s=args.threshold_ms / 1e3,
+            grace_s=grace,
+            smoke=args.smoke,
+        ),
+        schedule=schedule,
+    )
+    text = report_to_json(report)
+    if getattr(args, "save", None):
+        with open(args.save, "w") as f:
+            f.write(text + "\n")
+        print(f"survival report written to {args.save}", file=sys.stderr)
+    survived = report["verdict"]["mntp_survived"]
+    if getattr(args, "json", False):
+        print(text)
+        return 0 if survived else 1
+
+    def cell(side: Dict[str, Any]) -> "tuple[str, str]":
+        max_err = side["max_abs_error_s"]
+        shown = "n/a" if max_err is None else f"{max_err * 1e3:.1f}"
+        return ("ok" if side["recovered"] else "FAIL"), shown
+
+    rows = []
+    for e in report["episodes"]:
+        m_verdict, m_err = cell(e["mntp"])
+        s_verdict, s_err = cell(e["sntp"])
+        rows.append([
+            e["kind"], e["target"], f"{e['start']:.0f}-{e['end']:.0f}",
+            m_verdict, m_err, s_verdict, s_err,
+        ])
+    print(render_table(
+        ["fault", "target", "t (s)", "mntp", "max|err| (ms)",
+         "sntp", "max|err| (ms)"], rows,
+    ))
+    verdict = report["verdict"]
+    print(f"hardened MNTP survived: {verdict['mntp_survived']}  "
+          f"(steps detected: {report['mntp']['step_detections']}, "
+          f"failovers: {report['mntp']['queries']['failovers']}, "
+          f"wasted queries: {report['mntp']['queries_wasted']})")
+    print(f"plain SNTP survived:    {verdict['sntp_survived']}  "
+          f"(failures: {report['sntp']['failures']}, "
+          f"wasted queries: {report['sntp']['queries_wasted']})")
+    return 0 if survived else 1
 
 
 def _cmd_autotune(args) -> int:

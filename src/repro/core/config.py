@@ -58,6 +58,15 @@ class MntpConfig:
             regular-phase offsets (off in measurement-only baselines).
         reestimate_every_sample: Re-fit the trend on every accepted
             sample (the §5.3 fix); False reproduces the pre-fix filter.
+        enable_step_recovery: Graceful degradation after an upstream
+            step: a sustained same-sign trend-line residual breach
+            re-enters warm-up with a compensation reset instead of
+            rejecting samples until the next scheduled reset.  Off by
+            default to preserve the paper-baseline behaviour.
+        step_recovery_rejections: Consecutive same-sign breaches that
+            constitute a detected step.
+        step_recovery_min_residual: Residual magnitude (seconds) that
+            counts toward the streak; smaller residuals reset it.
         two_sided_rejection: Reject squared errors more than 1σ *below*
             the mean as well (the paper's literal wording); the default
             one-sided gate only rejects high outliers.
@@ -82,6 +91,9 @@ class MntpConfig:
     enable_clock_correction: bool = True
     reestimate_every_sample: bool = True
     two_sided_rejection: bool = False
+    enable_step_recovery: bool = False
+    step_recovery_rejections: int = 6
+    step_recovery_min_residual: float = 0.05
     warmup_pools: "tuple[str, ...]" = (
         "0.pool.ntp.org",
         "1.pool.ntp.org",
@@ -97,6 +109,10 @@ class MntpConfig:
             raise ValueError("need at least 2 warm-up samples to fit a line")
         if not self.warmup_pools:
             raise ValueError("warm-up needs at least one pool")
+        if self.step_recovery_rejections < 2:
+            raise ValueError("step detection needs at least 2 breaches")
+        if self.step_recovery_min_residual <= 0:
+            raise ValueError("step_recovery_min_residual must be positive")
 
     def with_overrides(self, **kwargs) -> "MntpConfig":
         """Return a copy with fields replaced (convenience for sweeps)."""

@@ -24,3 +24,4 @@ class MntpEventKind(str, Enum):
     CLOCK_CORRECTED = "clock_corrected"
     WARMUP_COMPLETE = "warmup_complete"
     RESET = "reset"
+    STEP_DETECTED = "step_detected"          # sustained residual breach

@@ -158,6 +158,14 @@ class Mntp:
         self.reports: List[MntpReport] = []
         self.deferral_count = 0
         self.reset_count = 0
+        self.step_detections = 0
+        # Same-sign residual-breach streak feeding step detection.
+        self._step_streak = 0
+        self._step_sign = 0
+        # Phase epoch: bumped on every phase transition so callbacks
+        # scheduled in an abandoned phase (e.g. after a step-recovery
+        # reset) expire instead of double-driving the state machine.
+        self._phase_epoch = 0
         self._running = False
         self._phase_span: Optional[Span] = None
         metrics = sim.telemetry.metrics
@@ -198,8 +206,27 @@ class Mntp:
 
     # -- reset / phase transitions --------------------------------------------
 
+    def _guarded(self, fn: Callable[[], None]) -> Callable[[], None]:
+        """Bind ``fn`` to the current phase epoch.
+
+        The wrapper is a no-op once the protocol has moved on to a new
+        phase (or stopped), so continuations scheduled before a
+        step-recovery reset cannot fire alongside the new phase's own
+        loop.
+        """
+        epoch = self._phase_epoch
+
+        def run() -> None:
+            if self._running and epoch == self._phase_epoch:
+                fn()
+
+        return run
+
     def _enter_warmup(self, initial: bool = False) -> None:
         self.phase = MntpPhase.WARMUP
+        self._phase_epoch += 1
+        self._step_streak = 0
+        self._step_sign = 0
         self._algorithm_start = self._sim.now
         self._phase_start = self._sim.now
         if not initial:
@@ -209,10 +236,13 @@ class Mntp:
             self.drift_estimate = None
             self._emit(MntpEventKind.RESET)
         self._open_phase_span("mntp.warmup", reset_count=self.reset_count)
-        self._sim.call_after(0.0, self._warmup_round, label="mntp:warmup")
+        self._sim.call_after(0.0, self._guarded(self._warmup_round), label="mntp:warmup")
 
     def _enter_regular(self) -> None:
         self.phase = MntpPhase.REGULAR
+        self._phase_epoch += 1
+        self._step_streak = 0
+        self._step_sign = 0
         self._phase_start = self._sim.now
         self._open_phase_span("mntp.regular")
         self.drift_estimate = self.filter.drift_estimate()
@@ -231,7 +261,7 @@ class Mntp:
                 if action != "noop":
                     self._comp.add_rate(self._sim.now, applied)
                 self._emit(MntpEventKind.DRIFT_CORRECTED, drift=applied)
-        self._sim.call_after(0.0, self._regular_round, label="mntp:regular")
+        self._sim.call_after(0.0, self._guarded(self._regular_round), label="mntp:regular")
 
     def _reset_due(self) -> bool:
         return self._sim.now - self._algorithm_start >= self.config.reset_period
@@ -276,7 +306,7 @@ class Mntp:
         if self._sim.now - self._phase_start >= self.config.warmup_period:
             self._enter_regular()
             return
-        self._gate_then(self._warmup_query)
+        self._gate_then(self._guarded(self._warmup_query))
 
     def _warmup_query(self) -> None:
         if not self._running:
@@ -284,6 +314,7 @@ class Mntp:
         pools = list(self.config.warmup_pools)
         results: Dict[str, Optional[SntpResult]] = {}
         outstanding = {"count": len(pools)}
+        epoch = self._phase_epoch
         self._emit(MntpEventKind.QUERY_SENT, phase="warmup", sources=pools)
         query_span = self._sim.telemetry.spans.begin(
             "mntp.query", phase="warmup", sources=len(pools)
@@ -297,7 +328,10 @@ class Mntp:
                     query_span.end(
                         ok=sum(1 for r in results.values() if r is not None and r.ok)
                     )
-                    self._warmup_collect(results)
+                    # Results landing after a phase transition belong
+                    # to an abandoned round; don't feed the new filter.
+                    if epoch == self._phase_epoch:
+                        self._warmup_collect(results)
 
             return on_result
 
@@ -316,15 +350,23 @@ class Mntp:
                 offsets[pool] = result.sample.offset
         if not offsets:
             self._emit(MntpEventKind.QUERY_FAILED, phase="warmup")
-            self._schedule(self.config.warmup_wait_time, self._warmup_round, "warmup")
+            self._schedule(
+                self.config.warmup_wait_time,
+                self._guarded(self._warmup_round), "warmup",
+            )
             return
         verdict = reject_false_tickers(offsets)
         for source in verdict.rejected:
             self._emit(
                 MntpEventKind.FALSE_TICKER, source=source, offset=offsets[source]
             )
+        epoch = self._phase_epoch
         self._handle_offset(verdict.combined_offset, correct=False)
-        self._schedule(self.config.warmup_wait_time, self._warmup_round, "warmup")
+        if epoch == self._phase_epoch:
+            self._schedule(
+                self.config.warmup_wait_time,
+                self._guarded(self._warmup_round), "warmup",
+            )
 
     # -- regular phase ---------------------------------------------------------------
 
@@ -334,12 +376,13 @@ class Mntp:
         if self._reset_due():
             self._enter_warmup()
             return
-        self._gate_then(self._regular_query)
+        self._gate_then(self._guarded(self._regular_query))
 
     def _regular_query(self) -> None:
         if not self._running:
             return
         source = self.config.regular_source
+        epoch = self._phase_epoch
         self._emit(MntpEventKind.QUERY_SENT, phase="regular", sources=[source])
         query_span = self._sim.telemetry.spans.begin(
             "mntp.query", phase="regular", sources=1
@@ -347,7 +390,7 @@ class Mntp:
 
         def on_result(result: SntpResult) -> None:
             query_span.end(ok=1 if result.ok else 0)
-            if not self._running:
+            if not self._running or epoch != self._phase_epoch:
                 return
             if result.ok:
                 assert result.sample is not None
@@ -357,7 +400,11 @@ class Mntp:
                 )
             else:
                 self._emit(MntpEventKind.QUERY_FAILED, phase="regular")
-            self._schedule(self.config.regular_wait_time, self._regular_round, "regular")
+            if epoch == self._phase_epoch:
+                self._schedule(
+                    self.config.regular_wait_time,
+                    self._guarded(self._regular_round), "regular",
+                )
 
         self.client.query(source, on_result, timeout=self.config.query_timeout)
 
@@ -382,6 +429,8 @@ class Mntp:
             residual=residual,
         )
         if accepted:
+            self._step_streak = 0
+            self._step_sign = 0
             if self.config.reestimate_every_sample:
                 self.drift_estimate = self.filter.drift_estimate()
             if correct:
@@ -407,9 +456,44 @@ class Mntp:
                 gate=outcome.gate,
                 phase=self.phase.value,
             )
+            self._note_rejection(residual)
         self.reports.append(report)
         if self.on_report is not None:
             self.on_report(report)
+
+    def _note_rejection(self, residual: Optional[float]) -> None:
+        """Feed a filter rejection into step detection.
+
+        An upstream clock step shifts every subsequent measurement by
+        the step, so the trend-line filter rejects a run of samples
+        whose residuals all breach the gate *with the same sign*.
+        Detecting that streak and re-entering warm-up (with the usual
+        filter/compensation reset) re-acquires the stepped timescale in
+        one warm-up period instead of stonewalling until the scheduled
+        protocol reset.
+        """
+        if not self.config.enable_step_recovery:
+            return
+        if residual is None or abs(residual) < self.config.step_recovery_min_residual:
+            self._step_streak = 0
+            self._step_sign = 0
+            return
+        sign = 1 if residual > 0 else -1
+        if sign == self._step_sign:
+            self._step_streak += 1
+        else:
+            self._step_sign = sign
+            self._step_streak = 1
+        if self._step_streak < self.config.step_recovery_rejections:
+            return
+        self.step_detections += 1
+        self._emit(
+            MntpEventKind.STEP_DETECTED,
+            residual=residual,
+            streak=self._step_streak,
+            phase=self.phase.value,
+        )
+        self._enter_warmup()
 
     def _schedule(self, delay: float, fn: Callable[[], None], tag: str) -> None:
         if self._running:

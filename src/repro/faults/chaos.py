@@ -1,0 +1,350 @@
+"""Chaos harness: scenario × fault-matrix runs and survival reports.
+
+One chaos run drives the full testbed with a fault schedule armed,
+running the **plain** SNTP client and the **hardened** MNTP stack side
+by side on the same clock, same seed, same faults.  The survival
+report then answers, per injected episode, whether each protocol
+recovered: how long until the first good sample after the episode
+ended, and the worst error inside the post-episode window.
+
+Everything is deterministic — same seed + schedule produces a byte
+identical JSON report — so the ``chaos --smoke`` gate in
+``scripts/check.sh`` can assert survival without tolerances.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import MntpConfig
+from repro.faults.schedule import FaultEpisode, FaultKind, FaultSchedule
+from repro.ntp.sntp_client import HardeningPolicy
+
+#: Minimum good samples a post-episode window needs before a protocol
+#: counts as recovered (guards against vacuous "no samples, no error").
+MIN_WINDOW_SAMPLES = 3
+
+
+@dataclass(frozen=True)
+class ChaosOptions:
+    """Chaos run parameters.
+
+    Attributes:
+        seed: Root seed for all randomness.
+        duration: Virtual seconds to simulate; None picks the default
+            matching the schedule (full matrix or smoke subset).
+        threshold_s: Recovery bar on |measurement error| (the issue's
+            acceptance criterion: 25 ms).
+        grace_s: Settling time after an episode before the judged
+            post-episode window opens (covers one step-recovery
+            detection latency).
+        smoke: Run the reduced smoke matrix (CI gate) instead of the
+            full one.
+        sntp_cadence: Seconds between baseline SNTP queries.
+    """
+
+    seed: int = 0
+    duration: Optional[float] = None
+    threshold_s: float = 0.025
+    grace_s: float = 90.0
+    smoke: bool = False
+    sntp_cadence: float = 5.0
+
+
+def chaos_mntp_config() -> MntpConfig:
+    """The hardened-MNTP configuration chaos runs use.
+
+    Short warm-up and a tight cadence so recovery latency is visible at
+    experiment scale; measurement-only (no clock corrections) so errors
+    compare directly against the plain SNTP series; step recovery on —
+    that is the graceful-degradation path under test.
+    """
+    return MntpConfig(
+        warmup_period=300.0,
+        warmup_wait_time=5.0,
+        regular_wait_time=5.0,
+        reset_period=86_400.0,
+        enable_drift_correction=False,
+        enable_clock_correction=False,
+        enable_step_recovery=True,
+    )
+
+
+def default_fault_matrix(smoke: bool = False) -> FaultSchedule:
+    """The issue's default fault matrix.
+
+    The full matrix covers every :class:`FaultKind` once (network
+    faults hit all paths; server faults hit the ``0.pool.ntp.org``
+    members — MNTP's regular-phase source — leaving the other pools as
+    failover targets).  Episodes are spaced so every one has a clean
+    post-episode window before the next begins.  The smoke subset keeps
+    one fault per family (network / server-time / server-protocol) for
+    the CI gate.
+    """
+    pool0 = "0.pool.ntp.org"
+    if smoke:
+        return FaultSchedule(
+            name="smoke",
+            episodes=[
+                FaultEpisode(FaultKind.BLACKOUT, start=600.0, duration=60.0),
+                FaultEpisode(
+                    FaultKind.SERVER_STEP, start=840.0, duration=120.0,
+                    target=pool0, params={"step_s": 0.5},
+                ),
+                FaultEpisode(
+                    FaultKind.ZERO_TRANSMIT, start=1140.0, duration=90.0,
+                    target=pool0,
+                ),
+            ],
+        )
+    return FaultSchedule(
+        name="default",
+        episodes=[
+            FaultEpisode(FaultKind.BLACKOUT, start=600.0, duration=60.0),
+            FaultEpisode(
+                FaultKind.DELAY_SURGE, start=840.0, duration=90.0,
+                direction="down", params={"delay_s": 0.35},
+            ),
+            FaultEpisode(
+                FaultKind.BURST_LOSS, start=1140.0, duration=90.0,
+                params={"loss_rate": 0.85},
+            ),
+            FaultEpisode(
+                FaultKind.DUPLICATE, start=1440.0, duration=60.0,
+                params={"dup_rate": 0.5, "dup_delay_s": 0.05},
+            ),
+            FaultEpisode(
+                FaultKind.REORDER, start=1440.0, duration=60.0,
+                params={"reorder_rate": 0.5, "jitter_s": 0.15},
+            ),
+            FaultEpisode(
+                FaultKind.SERVER_STEP, start=1740.0, duration=240.0,
+                target=pool0, params={"step_s": 0.5},
+            ),
+            FaultEpisode(
+                FaultKind.SERVER_DRIFT, start=2220.0, duration=240.0,
+                target=pool0, params={"rate_s_per_s": 0.0008},
+            ),
+            FaultEpisode(
+                FaultKind.KOD_STORM, start=2700.0, duration=150.0,
+                target=pool0,
+            ),
+            FaultEpisode(
+                FaultKind.SERVER_UNSYNC, start=3000.0, duration=150.0,
+                target=pool0,
+            ),
+            FaultEpisode(
+                FaultKind.ZERO_TRANSMIT, start=3300.0, duration=150.0,
+                target=pool0,
+            ),
+            FaultEpisode(
+                FaultKind.SERVER_DEATH, start=3600.0, duration=150.0,
+                target=pool0,
+            ),
+            FaultEpisode(
+                FaultKind.SUSPEND, start=3900.0, duration=90.0, target="tn",
+            ),
+        ],
+    )
+
+
+def _default_duration(smoke: bool) -> float:
+    return 1440.0 if smoke else 4200.0
+
+
+def _series_errors(points: "list") -> List["tuple[float, float]"]:
+    """(time, |error|) pairs for points carrying ground truth."""
+    return [
+        (p.time, abs(p.error))
+        for p in points
+        if p.truth == p.truth  # not NaN
+    ]
+
+
+def _window_verdict(
+    errors: List["tuple[float, float]"],
+    episode_end: float,
+    window: "tuple[float, float]",
+    threshold: float,
+) -> Dict[str, Any]:
+    """Judge one protocol's recovery after one episode.
+
+    Args:
+        errors: The protocol's (time, |error|) series, time-sorted.
+        episode_end: When the episode's faults reverted.
+        window: The judged post-episode interval (after grace).
+        threshold: Recovery bar on |error|.
+    """
+    w0, w1 = window
+    in_window = [e for t, e in errors if w0 <= t < w1]
+    recovery_s: Optional[float] = None
+    for t, e in errors:
+        if t >= episode_end and e < threshold:
+            recovery_s = t - episode_end
+            break
+    recovered = (
+        len(in_window) >= MIN_WINDOW_SAMPLES
+        and max(in_window) < threshold
+    )
+    return {
+        "samples": len(in_window),
+        "max_abs_error_s": max(in_window) if in_window else None,
+        "recovery_s": recovery_s,
+        "recovered": recovered,
+    }
+
+
+def _post_windows(
+    schedule: FaultSchedule, duration: float, grace: float
+) -> List["tuple[FaultEpisode, tuple[float, float]]"]:
+    """Each episode with its judged post-episode window.
+
+    The window runs from ``end + grace`` to the start of the next
+    later-starting episode (or the run horizon).
+    """
+    ordered = sorted(schedule, key=lambda e: (e.start, e.end, e.kind.value))
+    out = []
+    for episode in ordered:
+        nxt = min(
+            (e.start for e in ordered if e.start > episode.end),
+            default=duration,
+        )
+        out.append((episode, (episode.end + grace, min(nxt, duration))))
+    return out
+
+
+def run_chaos(
+    options: ChaosOptions = ChaosOptions(),
+    schedule: Optional[FaultSchedule] = None,
+) -> Dict[str, Any]:
+    """Run the chaos comparison and build the survival report.
+
+    Plain SNTP and hardened MNTP run side by side in one simulation
+    under ``schedule`` (default: :func:`default_fault_matrix`).
+    Returns the ``mntp-chaos-report-v1`` dict; serialize with
+    :func:`report_to_json` for the byte-stable form.
+    """
+    # Imported here: repro.testbed depends on repro.faults, so a
+    # module-level import would be circular.
+    from repro.obs.causal import assemble_exchanges, completeness
+    from repro.testbed.experiment import ExperimentRunner
+    from repro.testbed.nodes import TestbedOptions
+
+    if schedule is None:
+        schedule = default_fault_matrix(options.smoke)
+    duration = (
+        _default_duration(options.smoke)
+        if options.duration is None
+        else options.duration
+    )
+    runner = ExperimentRunner(
+        seed=options.seed,
+        # Wired topology, no ntpd, no monitor loop: the only adversity
+        # in a chaos run is the injected schedule, so every error in the
+        # report is attributable to an episode.
+        options=TestbedOptions(
+            wireless=False,
+            ntp_correction=False,
+            monitor_active=False,
+            fault_schedule=schedule,
+            mntp_hardening=HardeningPolicy(),
+        ),
+        duration=duration,
+        sntp_cadence=options.sntp_cadence,
+        mntp_config=chaos_mntp_config(),
+    )
+    result = runner.run()
+    testbed = runner.testbed
+    mntp = runner.mntp
+    assert testbed is not None and mntp is not None
+
+    sntp_errors = sorted(_series_errors(result.sntp))
+    mntp_errors = sorted(_series_errors(result.mntp_accepted()))
+
+    episodes: List[Dict[str, Any]] = []
+    for episode, window in _post_windows(schedule, duration, options.grace_s):
+        episodes.append(
+            {
+                "kind": episode.kind.value,
+                "target": episode.target,
+                "direction": episode.direction,
+                "start": episode.start,
+                "end": episode.end,
+                "window": [window[0], window[1]],
+                "mntp": _window_verdict(
+                    mntp_errors, episode.end, window, options.threshold_s
+                ),
+                "sntp": _window_verdict(
+                    sntp_errors, episode.end, window, options.threshold_s
+                ),
+            }
+        )
+
+    exchanges = assemble_exchanges(result.telemetry or {})
+
+    def client_counters(client) -> Dict[str, int]:
+        return {
+            "queries_sent": client.queries_sent,
+            "responses_received": client.responses_received,
+            "timeouts": client.timeouts,
+            "kod_received": client.kod_received,
+            "invalid_received": client.invalid_received,
+            "backed_off_queries": client.backed_off_queries,
+            "failovers": client.failovers,
+            "pending_evictions": client.pending_evictions,
+        }
+
+    def wasted(counters: Dict[str, int]) -> int:
+        return (
+            counters["timeouts"]
+            + counters["kod_received"]
+            + counters["invalid_received"]
+            + counters["backed_off_queries"]
+        )
+
+    mntp_counters = client_counters(testbed.mntp_app)
+    sntp_counters = client_counters(testbed.sntp_app)
+    mntp_survived = all(e["mntp"]["recovered"] for e in episodes)
+    sntp_survived = all(e["sntp"]["recovered"] for e in episodes)
+
+    return {
+        "format": "mntp-chaos-report-v1",
+        "seed": options.seed,
+        "duration": duration,
+        "threshold_s": options.threshold_s,
+        "grace_s": options.grace_s,
+        "smoke": options.smoke,
+        "schedule": schedule.to_dict(),
+        "episodes": episodes,
+        "mntp": {
+            "accepted": len(result.mntp_accepted()),
+            "rejected": len(result.mntp_rejected()),
+            "step_detections": mntp.step_detections,
+            "reset_count": mntp.reset_count,
+            "max_abs_error_s": max((e for _, e in mntp_errors), default=None),
+            "queries": mntp_counters,
+            "queries_wasted": wasted(mntp_counters),
+        },
+        "sntp": {
+            "samples": len(result.sntp),
+            "failures": result.sntp_failures,
+            "max_abs_error_s": max((e for _, e in sntp_errors), default=None),
+            "queries": sntp_counters,
+            "queries_wasted": wasted(sntp_counters),
+        },
+        "observability": {
+            "exchanges": len(exchanges),
+            "completeness": completeness(exchanges),
+        },
+        "verdict": {
+            "mntp_survived": mntp_survived,
+            "sntp_survived": sntp_survived,
+        },
+    }
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Byte-stable JSON text of a survival report (sorted keys)."""
+    return json.dumps(report, sort_keys=True, indent=2)

@@ -5,14 +5,13 @@ nodes and the (simulated) stratum servers, plus presets calibrated to
 the per-provider latency categories observed in the paper's Figure 1.
 """
 
-from repro.net.message import Datagram, reset_datagram_ids
+from repro.net.message import Datagram
 from repro.net.path import PathModel, DelaySample
 from repro.net.link import Link, LinkEffect
 from repro.net.internet import InternetPath, PROVIDER_CATEGORY_PROFILES, CategoryProfile
 
 __all__ = [
     "Datagram",
-    "reset_datagram_ids",
     "PathModel",
     "DelaySample",
     "Link",

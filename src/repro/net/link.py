@@ -10,6 +10,7 @@ wireless model decoupled from the transport plumbing.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.net.message import Datagram
@@ -27,19 +28,25 @@ class LinkEffect:
     retransmission backoff — the part attributable to interference /
     poor SNR rather than contention queueing.  The causal tracer uses
     the split to name the cause of a delayed packet.
+
+    ``duplicate_extra``, when set, asks the link to deliver a second
+    copy of the packet that many seconds after the first (duplication
+    faults; see :mod:`repro.faults.injectors`).
     """
 
-    __slots__ = ("extra_delay", "lost", "retry_delay")
+    __slots__ = ("extra_delay", "lost", "retry_delay", "duplicate_extra")
 
     def __init__(
         self,
         extra_delay: float = 0.0,
         lost: bool = False,
         retry_delay: float = 0.0,
+        duplicate_extra: Optional[float] = None,
     ) -> None:
         self.extra_delay = extra_delay
         self.lost = lost
         self.retry_delay = retry_delay
+        self.duplicate_extra = duplicate_extra
 
 
 class Link:
@@ -106,3 +113,32 @@ class Link:
             self._receive(datagram)
 
         self._sim.call_after(delay, deliver, label=f"{self.name}:deliver")
+        if effect.duplicate_extra is not None:
+            self._send_duplicate(datagram, delay + effect.duplicate_extra)
+
+    def _send_duplicate(self, original: Datagram, delay: float) -> None:
+        """Deliver a second copy of ``original`` after ``delay``.
+
+        The copy keeps the payload and trace id (it *is* the same wire
+        packet) but gets its own ident so trace consumers can tell the
+        two deliveries apart.
+        """
+        duplicate = replace(original, ident=self._sim.datagram_ids.allocate())
+        span = self._sim.telemetry.spans.begin(
+            "link.transit",
+            link=self.name,
+            ident=duplicate.ident,
+            trace_id=duplicate.trace_id,
+            prop_s=0.0,
+            queue_s=delay,
+            intf_s=0.0,
+            duplicate=1,
+        )
+
+        def deliver() -> None:
+            duplicate.delivered_at = self._sim.now
+            self.delivered += 1
+            span.end()
+            self._receive(duplicate)
+
+        self._sim.call_after(delay, deliver, label=f"{self.name}:deliver-dup")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,25 +32,6 @@ class DatagramIdAllocator:
         ident = self._next
         self._next += 1
         return ident
-
-
-def reset_datagram_ids() -> None:
-    """Restart the process-global fallback numbering at 1.
-
-    .. deprecated::
-        Datagram idents are now allocated per run via
-        :class:`DatagramIdAllocator` (``sim.datagram_ids``), so nothing
-        in the repository calls this anymore.  Kept as a shim for
-        external callers of the old PR-2 API.
-    """
-    warnings.warn(
-        "reset_datagram_ids() is deprecated: idents are allocated per run "
-        "by Simulator.datagram_ids",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    global _datagram_ids
-    _datagram_ids = itertools.count(1)
 
 
 @dataclass

@@ -44,6 +44,53 @@ class ServerPersona(Enum):
 
 
 @dataclass
+class ServerFaultState:
+    """Transient fault flags injected by :mod:`repro.faults.injectors`.
+
+    Unlike a :class:`ServerPersona` — a *static* behavioural class — the
+    fault state changes mid-run at episode boundaries.  The boolean-ish
+    flags are depth counters so overlapping episodes nest: each episode
+    increments its flag at start and decrements it at end, and the
+    server misbehaves while any count is positive.
+
+    Attributes:
+        dead: Silently drop every request while positive.
+        kod_storm: Answer every request with a kiss-of-death packet.
+        unsynchronized: Answer with leap=ALARM / stratum 16.
+        zero_transmit: Zero the transmit timestamp in responses.
+        bias_step: Constant clock bias currently injected (seconds).
+        bias_rate: Injected clock drift (seconds/second).
+        bias_since: Time the current ``bias_rate`` took effect.
+    """
+
+    dead: int = 0
+    kod_storm: int = 0
+    unsynchronized: int = 0
+    zero_transmit: int = 0
+    bias_step: float = 0.0
+    bias_rate: float = 0.0
+    bias_since: float = 0.0
+
+    def add_step(self, delta: float) -> None:
+        """Add a constant bias component (negative delta reverts)."""
+        self.bias_step += delta
+
+    def add_rate(self, now: float, delta: float) -> None:
+        """Change the drift rate at time ``now``.
+
+        Bias accrued under the old rate is folded into ``bias_step``
+        first, so rate changes compose and revert exactly.
+        """
+        self.bias_step += self.bias_rate * (now - self.bias_since)
+        self.bias_since = now
+        self.bias_rate += delta
+
+    def bias(self, now: float) -> float:
+        """Total injected clock bias at time ``now`` (seconds)."""
+        return self.bias_step + self.bias_rate * (now - self.bias_since)
+
+
+@dataclass
 class ServerConfig:
     """Static server properties.
 
@@ -94,6 +141,9 @@ class NtpServer:
         self.config = config
         self.send_reply = send_reply
         self._rng = sim.rng.stream(f"server:{config.name}")
+        #: Transient fault flags, mutated by the fault injector at
+        #: episode boundaries (all-zero in benign runs).
+        self.faults = ServerFaultState()
         self.requests_seen = 0
         self.responses_sent = 0
         self.kod_sent = 0
@@ -107,13 +157,20 @@ class NtpServer:
             value += self.config.falseticker_bias
         elif self.config.persona is ServerPersona.NOISY:
             value += float(self._rng.normal(0.0, self.config.noisy_sigma))
-        return value
+        return value + self.faults.bias(self._sim.now)
 
     # -- datagram handling ------------------------------------------------------
 
     def on_datagram(self, datagram: Datagram) -> None:
         """Receive-side entry point: parse, then schedule the reply."""
         self.requests_seen += 1
+        if self.faults.dead:
+            self._sim.trace.emit(
+                self._sim.now, f"server:{self.config.name}", "ignored",
+                cause="server_death", ident=datagram.ident,
+                trace_id=datagram.trace_id,
+            )
+            return
         if self.config.persona is ServerPersona.UNRESPONSIVE:
             if self._rng.random() < self.config.drop_rate:
                 self._sim.trace.emit(
@@ -150,6 +207,9 @@ class NtpServer:
     ) -> None:
         if self.send_reply is None:
             raise RuntimeError(f"server {self.config.name} has no reply path wired")
+        if self.faults.kod_storm:
+            self._send_kiss_of_death(request, datagram, span)
+            return
         if self.config.persona is ServerPersona.RATE_LIMITED:
             count = self._per_client_requests.get(datagram.src, 0) + 1
             self._per_client_requests[datagram.src] = count
@@ -157,7 +217,7 @@ class NtpServer:
                 self._send_kiss_of_death(request, datagram, span)
                 return
         t3 = self._read_clock()
-        if self.config.persona is ServerPersona.UNSYNCHRONIZED:
+        if self.config.persona is ServerPersona.UNSYNCHRONIZED or self.faults.unsynchronized:
             response = NtpPacket(
                 leap=LeapIndicator.ALARM,
                 version=request.version,
@@ -197,7 +257,9 @@ class NtpServer:
             reference_ts=t3 - 16.0,
             origin_ts=request.transmit_ts,
             receive_ts=t2,
-            transmit_ts=t3,
+            # A zero-transmit fault ships the RFC 4330 "you must
+            # discard this" packet: transmit timestamp all zeros.
+            transmit_ts=None if self.faults.zero_transmit else t3,
         )
         reply = Datagram(
             payload=response.encode(),

@@ -24,7 +24,13 @@ from repro.obs.spans import SPAN_COMPONENT
 
 #: Exchange outcomes where the server answered (a turnaround or a
 #: response hop proves the tree is whole even though no sample came out).
-_ANSWERED_FAILURES = frozenset({"kod", "unsynchronized", "bad_mode", "malformed"})
+_ANSWERED_FAILURES = frozenset(
+    {"kod", "unsynchronized", "bad_mode", "malformed", "invalid"}
+)
+
+#: Outcomes the client imposed on itself (pending-table eviction); the
+#: tree is explained by the client's own bookkeeping, not the network.
+_CLIENT_CLOSED = frozenset({"evicted"})
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,31 @@ class InterferenceEpisode:
         return self.t0 < t1 and self.t1 > t0
 
 
+@dataclass(frozen=True)
+class InjectedFault:
+    """One ``fault.episode`` span: an injected fault's active interval.
+
+    Mirrors :class:`repro.faults.schedule.FaultEpisode` as observed in
+    telemetry, so archived snapshots explain themselves without the
+    schedule that produced them.
+    """
+
+    fault: str
+    target: str
+    direction: str
+    t0: float
+    t1: float
+
+    @property
+    def dur(self) -> float:
+        """Episode duration in seconds."""
+        return self.t1 - self.t0
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Whether the episode intersects the half-open window [t0, t1)."""
+        return self.t0 < t1 and self.t1 > t0
+
+
 @dataclass
 class Exchange:
     """One reassembled causal tree rooted at an ``sntp.exchange`` span.
@@ -97,13 +128,16 @@ class Exchange:
             that answered when known, else the name queried).
         t0 / t1: Root span interval (request sent → outcome known).
         outcome: ``ok``, ``timeout``, ``kod``, ``unsynchronized``,
-            ``bad_mode``, ``malformed`` — or ``unresolved`` when the
-            run ended with the query still in flight.
+            ``bad_mode``, ``malformed``, ``invalid`` (unusable
+            timestamps), ``evicted`` (pending-table overflow) — or
+            ``unresolved`` when the run ended with the query still in
+            flight.
         offset / delay: The derived sample, for ``ok`` exchanges.
         request_hop / response_hop: The two ``link.transit`` children.
         turnaround: The ``server.turnaround`` child.
         drops: ``drop`` / ``ignored`` trace records with this trace_id.
         interference: Channel episodes overlapping [t0, t1).
+        faults: Injected fault episodes overlapping [t0, t1).
     """
 
     trace_id: str
@@ -119,6 +153,7 @@ class Exchange:
     turnaround: Optional[Turnaround] = None
     drops: List[Dict[str, Any]] = field(default_factory=list)
     interference: List[InterferenceEpisode] = field(default_factory=list)
+    faults: List[InjectedFault] = field(default_factory=list)
 
     @property
     def dur(self) -> float:
@@ -135,6 +170,8 @@ class Exchange:
           the client's timer).
         * answered failures (``kod``, ``unsynchronized``, ...) — the
           server's side of the tree is present.
+        * ``evicted`` — always complete: the client closed the exchange
+          itself to bound its pending table.
         * ``unresolved`` — never complete.
         """
         whole_round_trip = (
@@ -148,6 +185,8 @@ class Exchange:
             return bool(self.drops) or whole_round_trip
         if self.outcome in _ANSWERED_FAILURES:
             return self.turnaround is not None or self.response_hop is not None
+        if self.outcome in _CLIENT_CLOSED:
+            return True
         return False
 
 
@@ -176,6 +215,7 @@ def assemble_exchanges(snapshot: Dict[str, Any]) -> List[Exchange]:
     turnarounds: Dict[str, Turnaround] = {}
     drops: Dict[str, List[Dict[str, Any]]] = {}
     episodes: List[InterferenceEpisode] = []
+    faults: List[InjectedFault] = []
 
     for record in snapshot.get("records", []):
         data = record.get("data", {})
@@ -200,6 +240,16 @@ def assemble_exchanges(snapshot: Dict[str, Any]) -> List[Exchange]:
                         t1=float(data["t1"]),
                         rssi_dip_db=float(data.get("rssi_dip_db", 0.0)),
                         noise_lift_db=float(data.get("noise_lift_db", 0.0)),
+                    )
+                )
+            elif kind == "fault.episode":
+                faults.append(
+                    InjectedFault(
+                        fault=str(data.get("fault", "?")),
+                        target=str(data.get("target", "*")),
+                        direction=str(data.get("direction", "both")),
+                        t0=float(data["t0"]),
+                        t1=float(data["t1"]),
                     )
                 )
         elif kind in ("drop", "ignored") and data.get("trace_id") is not None:
@@ -242,6 +292,9 @@ def assemble_exchanges(snapshot: Dict[str, Any]) -> List[Exchange]:
                 exchange.response_hop = exchange.response_hop or hop
         exchange.interference = [
             ep for ep in episodes if ep.overlaps(exchange.t0, exchange.t1)
+        ]
+        exchange.faults = [
+            f for f in faults if f.overlaps(exchange.t0, exchange.t1)
         ]
         exchanges.append(exchange)
     return exchanges

@@ -450,6 +450,11 @@ def render_tree(exchange: Exchange, decomposition: Optional[Decomposition] = Non
             f"|- channel.interference [{ep.t0:.3f}, {ep.t1:.3f}] "
             f"rssi_dip={ep.rssi_dip_db:.1f}dB noise_lift={ep.noise_lift_db:.1f}dB"
         )
+    for fault in exchange.faults:
+        lines.append(
+            f"|- fault.episode {fault.fault} target={fault.target} "
+            f"direction={fault.direction} [{fault.t0:.3f}, {fault.t1:.3f}]"
+        )
     if decomposition is not None:
         lines.append(
             f"`- decomposition: err="

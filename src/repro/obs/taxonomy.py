@@ -13,7 +13,7 @@ from __future__ import annotations
 
 #: Subsystems allowed to own span kinds (the prefix before the dot).
 SPAN_SUBSYSTEMS = frozenset(
-    {"sim", "mntp", "sntp", "link", "server", "channel", "tuner"}
+    {"sim", "mntp", "sntp", "link", "server", "channel", "tuner", "fault"}
 )
 
 #: Every registered span kind.  Emitting an unregistered kind from a
@@ -31,6 +31,7 @@ SPAN_KINDS = frozenset(
         "channel.interference",
         "tuner.tune",
         "tuner.eval",
+        "fault.episode",
     }
 )
 

@@ -23,13 +23,15 @@ from repro.clock.discipline_api import ClockCorrector, SlewLimits
 from repro.clock.oscillator import OSCILLATOR_GRADES, Oscillator
 from repro.clock.simclock import SimClock
 from repro.clock.temperature import ConstantTemperature, TemperatureProfile
+from repro.faults.injectors import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.net.link import Link
 from repro.net.message import Datagram
 from repro.net.path import PathModel
 from repro.ntp.discipline import ClockDiscipline
 from repro.ntp.pool import PoolDns
 from repro.ntp.server import NtpServer, ServerConfig, ServerPersona
-from repro.ntp.sntp_client import SntpClient
+from repro.ntp.sntp_client import HardeningPolicy, SntpClient
 from repro.simcore.simulator import Simulator
 from repro.testbed.monitor import MonitorNode, MonitorParams
 from repro.testbed.pingtool import PingTool
@@ -61,6 +63,13 @@ class TestbedOptions:
         effects_params: Channel-to-packet mapping parameters.
         cross_traffic_params: MN download workload shape.
         monitor_params: MN control-loop tunables.
+        fault_schedule: Optional fault episodes to inject (see
+            :mod:`repro.faults`); None runs benign.
+        mntp_hardening: Optional robustness policy for the MNTP app's
+            SNTP client (backoff/failover/health); the baseline SNTP
+            app always stays plain so chaos runs compare the two.
+        suspend_node: Node label matched against SUSPEND episodes; the
+            TN is the only suspendable node in this topology.
     """
 
     __test__ = False
@@ -77,6 +86,9 @@ class TestbedOptions:
     effects_params: EffectsParams = field(default_factory=EffectsParams)
     cross_traffic_params: CrossTrafficParams = field(default_factory=CrossTrafficParams)
     monitor_params: MonitorParams = field(default_factory=MonitorParams)
+    fault_schedule: Optional[FaultSchedule] = None
+    mntp_hardening: Optional[HardeningPolicy] = None
+    suspend_node: str = "tn"
 
 
 POOL_NAMES = ("0.pool.ntp.org", "1.pool.ntp.org", "2.pool.ntp.org", "3.pool.ntp.org")
@@ -94,6 +106,10 @@ class Testbed:
         self.dns = PoolDns(sim.rng.stream("pooldns"))
         self._client_receivers: Dict[str, Callable[[Datagram], None]] = {}
         self._forward_links: Dict[str, Link] = {}
+        # Fault injector, armed after the servers exist (below).
+        self.injector: Optional[FaultInjector] = None
+        if options.fault_schedule is not None:
+            self.injector = FaultInjector(sim, options.fault_schedule)
 
         # -- wireless hop ----------------------------------------------------
         if options.wireless:
@@ -131,6 +147,8 @@ class Testbed:
                 self._make_server(pool, i, options) for i in range(options.pool_size)
             ]
             self.dns.register(pool, members)
+        if self.injector is not None:
+            self.injector.install(self.servers)
 
         # -- target node -----------------------------------------------------------
         self.tn_clock = SimClock(
@@ -140,7 +158,9 @@ class Testbed:
             initial_offset=options.initial_clock_offset,
         )
         self.sntp_app = self._make_client("tn-sntp")
-        self.mntp_app = self._make_client("tn-mntp")
+        self.mntp_app = self._make_client("tn-mntp", hardening=options.mntp_hardening)
+        if options.mntp_hardening is not None:
+            self.mntp_app.set_failover_peers(list(POOL_NAMES))
 
         self.ntpd: Optional[ClockDiscipline] = None
         if options.ntp_correction:
@@ -201,33 +221,66 @@ class Testbed:
         rev_path = PathModel(rng, base_delay=base * (2.0 - asym), queue_mean=0.002,
                              loss_rate=0.001)
         hook = self.effects.as_hook() if self.effects else None
-        fwd = Link(sim, fwd_path, receive=server.on_datagram, effect_hook=hook,
+        fwd_hook, rev_hook = hook, hook
+        if self.injector is not None:
+            fwd_hook = self.injector.wrap_hook(hook, "up", name)
+            rev_hook = self.injector.wrap_hook(hook, "down", name)
+        fwd = Link(sim, fwd_path, receive=server.on_datagram, effect_hook=fwd_hook,
                    name=f"up:{name}")
-        rev = Link(sim, rev_path, receive=self._deliver_to_client, effect_hook=hook,
+        rev = Link(sim, rev_path, receive=self._deliver_to_client, effect_hook=rev_hook,
                    name=f"down:{name}")
         server.send_reply = rev.send
         self._forward_links[name] = fwd
         self.servers[name] = server
         return server
 
-    def _make_client(self, name: str) -> SntpClient:
+    def _make_client(
+        self, name: str, hardening: Optional[HardeningPolicy] = None
+    ) -> SntpClient:
         client = SntpClient(
             sim=self.sim,
             clock=self.tn_clock,
             send=self._send_from_tn,
             name=name,
+            hardening=hardening,
         )
         self._client_receivers[name] = client.on_datagram
         return client
 
     # -- datagram routing ------------------------------------------------------------
 
+    def _tn_suspended(self) -> bool:
+        """Whether a suspend fault currently freezes the target node.
+
+        The device-suspend fault is modelled as the radio being off:
+        while active, all TN traffic in both directions is dropped at
+        the node boundary (approximating the frozen event sources of a
+        truly suspended device).
+        """
+        return self.injector is not None and self.injector.node_suspended(
+            self.options.suspend_node
+        )
+
     def _send_from_tn(self, datagram: Datagram) -> None:
+        if self._tn_suspended():
+            datagram.dropped = True
+            assert self.injector is not None
+            self.injector.record_suspend_drop(
+                self.options.suspend_node, datagram.trace_id, datagram.ident
+            )
+            return
         server = self.dns.resolve(datagram.dst)
         datagram.dst = server.config.name
         self._forward_links[server.config.name].send(datagram)
 
     def _deliver_to_client(self, datagram: Datagram) -> None:
+        if self._tn_suspended():
+            datagram.dropped = True
+            assert self.injector is not None
+            self.injector.record_suspend_drop(
+                self.options.suspend_node, datagram.trace_id, datagram.ident
+            )
+            return
         receiver = self._client_receivers.get(datagram.dst)
         if receiver is not None:
             receiver(datagram)

@@ -12,6 +12,8 @@ from typing import Callable, Dict, Optional
 
 from repro.clock.temperature import DiurnalTemperature
 from repro.core.config import MntpConfig
+from repro.faults.chaos import chaos_mntp_config, default_fault_matrix
+from repro.ntp.sntp_client import HardeningPolicy
 from repro.testbed.experiment import ExperimentResult, ExperimentRunner
 from repro.testbed.nodes import TestbedOptions
 
@@ -134,6 +136,22 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         mntp_config_factory=_insitu_mntp,
         cadence=60.0,  # ground truth sampled per minute over the day
+    ),
+    "chaos_smoke": Scenario(
+        name="chaos_smoke",
+        description="Robustness showcase: the smoke fault matrix "
+        "(blackout, upstream step, zeroed timestamps) against the "
+        "hardened MNTP client on the wired topology — the full "
+        "survival report comes from 'repro-mntp chaos'",
+        duration=1440.0,
+        options_factory=lambda: TestbedOptions(
+            wireless=False,
+            ntp_correction=False,
+            monitor_active=False,
+            fault_schedule=default_fault_matrix(smoke=True),
+            mntp_hardening=HardeningPolicy(),
+        ),
+        mntp_config_factory=chaos_mntp_config,
     ),
     "mntp_falsetickers": Scenario(
         name="mntp_falsetickers",

@@ -1,0 +1,71 @@
+"""ROB001: bare except handlers and degenerate wait literals."""
+
+from repro.analysis import check_source
+
+
+def rules_for(src, module):
+    return sorted({f.rule for f in check_source(src, module=module)})
+
+
+BARE = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+
+
+def test_bare_except_flagged_in_library_code():
+    assert "ROB001" in rules_for(BARE, "repro.core.protocol")
+    assert "ROB001" in rules_for(BARE, "repro.ntp.sntp_client")
+    # Unlike OBS001, the CLI and analysis layers are NOT exempt.
+    assert "ROB001" in rules_for(BARE, "repro.cli")
+    assert "ROB001" in rules_for(BARE, "repro.analysis.engine")
+
+
+def test_bare_except_allowed_outside_repro():
+    assert rules_for(BARE, "scripts.bench") == []
+    assert rules_for(BARE, "scratch") == []
+
+
+def test_named_except_passes():
+    src = "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n"
+    assert rules_for(src, "repro.core.protocol") == []
+
+
+def test_nonpositive_wait_literals_flagged():
+    src = "def f(c):\n    c.query('s', cb, timeout=0)\n"
+    assert rules_for(src, "repro.ntp.sntp_client") == ["ROB001"]
+    src = "def f(c):\n    c.wait(poll_interval=-1.5)\n"
+    assert rules_for(src, "repro.testbed.experiment") == ["ROB001"]
+
+
+def test_positive_and_dynamic_waits_pass():
+    src = (
+        "def f(c, t):\n"
+        "    c.query('s', cb, timeout=2.0)\n"
+        "    c.query('s', cb, timeout=t)\n"
+        "    c.wait(poll_interval=0.5)\n"
+    )
+    assert rules_for(src, "repro.ntp.sntp_client") == []
+
+
+def test_boolean_literal_is_not_a_wait_value():
+    # timeout=False is weird but not the numeric-zero pattern ROB001
+    # targets; leave it to type checkers.
+    src = "def f(c):\n    c.query('s', cb, timeout=False)\n"
+    assert rules_for(src, "repro.ntp.sntp_client") == []
+
+
+def test_noqa_suppresses_rob001():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except:  # repro: noqa[ROB001] last-ditch report guard\n"
+        "        pass\n"
+    )
+    assert rules_for(src, "repro.core.protocol") == []
+
+
+def test_message_points_at_the_wait_keyword():
+    findings = check_source(
+        "def f(c):\n    c.query('s', cb, timeout=0)\n",
+        module="repro.ntp.sntp_client",
+    )
+    assert any("timeout=0" in f.message for f in findings)

@@ -1,0 +1,112 @@
+"""Chaos harness: survival semantics, determinism, fault visibility."""
+
+import pytest
+
+from repro.faults.chaos import (
+    ChaosOptions,
+    _post_windows,
+    _window_verdict,
+    default_fault_matrix,
+    report_to_json,
+    run_chaos,
+)
+from repro.faults.schedule import FaultEpisode, FaultKind, FaultSchedule
+
+
+def test_default_matrix_covers_every_kind():
+    kinds = {e.kind for e in default_fault_matrix()}
+    assert kinds == set(FaultKind)
+    smoke_kinds = {e.kind for e in default_fault_matrix(smoke=True)}
+    assert smoke_kinds < kinds
+
+
+def test_post_windows_end_at_next_episode_or_horizon():
+    schedule = FaultSchedule(episodes=[
+        FaultEpisode(FaultKind.BLACKOUT, start=100.0, duration=50.0),
+        FaultEpisode(FaultKind.SERVER_STEP, start=300.0, duration=50.0),
+    ])
+    windows = dict(
+        (ep.kind, win)
+        for ep, win in _post_windows(schedule, duration=1000.0, grace=20.0)
+    )
+    assert windows[FaultKind.BLACKOUT] == (170.0, 300.0)
+    assert windows[FaultKind.SERVER_STEP] == (370.0, 1000.0)
+
+
+def test_window_verdict_requires_samples_and_threshold():
+    errors = [(t, 0.001) for t in (10.0, 11.0, 12.0)]
+    good = _window_verdict(errors, episode_end=5.0, window=(9.0, 20.0),
+                           threshold=0.025)
+    assert good["recovered"] and good["samples"] == 3
+    assert good["recovery_s"] == pytest.approx(5.0)
+    # No samples in the window: not recovered, even with no bad errors.
+    starved = _window_verdict([], episode_end=5.0, window=(9.0, 20.0),
+                              threshold=0.025)
+    assert not starved["recovered"] and starved["max_abs_error_s"] is None
+    # A breach inside the window fails it.
+    breached = _window_verdict(
+        errors + [(13.0, 0.5)], episode_end=5.0, window=(9.0, 20.0),
+        threshold=0.025,
+    )
+    assert not breached["recovered"]
+
+
+def test_smoke_run_is_byte_deterministic_and_survives():
+    options = ChaosOptions(smoke=True, grace_s=60.0)
+    a = run_chaos(options)
+    b = run_chaos(options)
+    assert report_to_json(a) == report_to_json(b)
+    assert a["format"] == "mntp-chaos-report-v1"
+    assert a["verdict"]["mntp_survived"] is True
+    # Every episode must have produced MNTP samples in its window.
+    assert all(e["mntp"]["samples"] > 0 for e in a["episodes"])
+
+
+def test_seed_changes_the_report():
+    base = run_chaos(ChaosOptions(smoke=True, grace_s=60.0))
+    other = run_chaos(ChaosOptions(smoke=True, grace_s=60.0, seed=11))
+    assert report_to_json(base) != report_to_json(other)
+
+
+def test_custom_schedule_round_trips_into_report():
+    schedule = FaultSchedule(
+        name="just-a-blackout",
+        episodes=[FaultEpisode(FaultKind.BLACKOUT, start=400.0, duration=30.0)],
+    )
+    report = run_chaos(
+        ChaosOptions(smoke=True, duration=700.0, grace_s=60.0),
+        schedule=schedule,
+    )
+    assert report["schedule"]["name"] == "just-a-blackout"
+    assert len(report["episodes"]) == 1
+    episode = report["episodes"][0]
+    assert episode["kind"] == "blackout"
+    assert episode["window"] == [490.0, 700.0]
+    assert episode["mntp"]["recovered"]
+
+
+def test_fault_episodes_visible_in_causal_exchanges():
+    from repro.obs.causal import assemble_exchanges
+    from repro.ntp.sntp_client import HardeningPolicy
+    from repro.testbed.experiment import ExperimentRunner
+    from repro.testbed.nodes import TestbedOptions
+
+    schedule = FaultSchedule(episodes=[
+        FaultEpisode(FaultKind.SERVER_STEP, start=100.0, duration=50.0,
+                     target="0.pool.ntp.org", params={"step_s": 0.5}),
+    ])
+    result = ExperimentRunner(
+        seed=0,
+        options=TestbedOptions(
+            wireless=False, ntp_correction=False, monitor_active=False,
+            fault_schedule=schedule, mntp_hardening=HardeningPolicy(),
+        ),
+        duration=200.0,
+    ).run()
+    exchanges = assemble_exchanges(result.telemetry)
+    overlapping = [e for e in exchanges if 100.0 <= e.t0 < 150.0]
+    assert overlapping
+    for exchange in overlapping:
+        assert any(f.fault == "server_step" for f in exchange.faults)
+    outside = [e for e in exchanges if e.t1 < 100.0]
+    assert outside and all(not e.faults for e in outside)

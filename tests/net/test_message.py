@@ -1,8 +1,6 @@
 """Datagram idents: per-run allocation, fallback sequence, trace ids."""
 
-import pytest
-
-from repro.net.message import Datagram, DatagramIdAllocator, reset_datagram_ids
+from repro.net.message import Datagram, DatagramIdAllocator
 from repro.simcore.simulator import Simulator
 
 
@@ -29,9 +27,3 @@ def test_fallback_idents_unique_without_simulator():
     a = Datagram(payload=b"x", src="a", dst="b")
     b = Datagram(payload=b"x", src="a", dst="b")
     assert a.ident != b.ident
-
-
-def test_reset_shim_warns_and_restarts_fallback():
-    with pytest.warns(DeprecationWarning):
-        reset_datagram_ids()
-    assert Datagram(payload=b"x", src="a", dst="b").ident == 1

@@ -9,7 +9,7 @@ from repro.clock.simclock import SimClock
 from repro.net.link import Link
 from repro.net.path import PathModel
 from repro.ntp.server import NtpServer, ServerConfig
-from repro.ntp.sntp_client import SntpClient
+from repro.ntp.sntp_client import HardeningPolicy, SntpClient
 from repro.simcore import Simulator
 
 PERFECT = OscillatorGrade(
@@ -45,13 +45,15 @@ class MiniNet:
         client_clock: Optional[SimClock] = None,
         owd: float = 0.025,
         server_offsets: Optional[List[float]] = None,
+        hardening: Optional[HardeningPolicy] = None,
     ) -> None:
         self.sim = sim
         self.client_clock = client_clock or perfect_clock(sim, stream="client-clk")
         self.servers: dict[str, NtpServer] = {}
         self._uplinks: dict[str, Link] = {}
         self.client = SntpClient(
-            sim, self.client_clock, send=self._send, name="client"
+            sim, self.client_clock, send=self._send, name="client",
+            hardening=hardening,
         )
         offsets = server_offsets or [0.0] * len(server_configs)
         for config, s_offset in zip(server_configs, offsets):

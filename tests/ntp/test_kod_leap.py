@@ -55,6 +55,7 @@ def test_backoff_expires():
         processing_delay=1e-6,
     )])
     net.client.kod_backoff = 10.0
+    net.client.min_kod_holdoff = 10.0  # the floor would otherwise win
     results = []
     net.client.query("pool", results.append)     # ok
     sim.run_until(1.0)
