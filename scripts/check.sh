@@ -13,8 +13,13 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro-mntp lint (domain static analysis)"
+echo "== repro-mntp lint (domain static analysis, src)"
+# Warm runs hit the content-hash cache (.repro-lint-cache.json) and
+# skip re-parsing unchanged files entirely.
 python -m repro.analysis src
+
+echo "== repro-mntp lint (determinism rules, tests)"
+python -m repro.analysis tests --select DET001,DET002,DET003,DET004 --no-baseline
 
 if python -m ruff --version >/dev/null 2>&1; then
     echo "== ruff"

@@ -26,20 +26,25 @@ from repro.analysis.engine import (
     AnalysisResult,
     Engine,
     Finding,
+    ProjectRule,
     Rule,
     SourceModule,
     fingerprint_findings,
     load_source,
 )
-from repro.analysis.reporting import render_human, render_json
-from repro.analysis.rules import all_rules
+from repro.analysis.reporting import render_human, render_json, render_sarif
+from repro.analysis.rules import all_project_rules, all_rules
 
 
 def check_source(text, *, module="sample", path="<memory>", select=None,
-                 ignore=None):
-    """Analyse a source string with a fresh engine (test convenience)."""
+                 ignore=None, project=False):
+    """Analyse a source string with a fresh engine (test convenience).
+
+    ``project=True`` additionally runs the interprocedural rules over
+    the single module (intra-module call resolution only).
+    """
     return Engine(select=select, ignore=ignore).check_source(
-        text, path=path, module=module
+        text, path=path, module=module, project=project
     )
 
 
@@ -48,8 +53,10 @@ __all__ = [
     "BaselineMatch",
     "Engine",
     "Finding",
+    "ProjectRule",
     "Rule",
     "SourceModule",
+    "all_project_rules",
     "all_rules",
     "check_source",
     "fingerprint_findings",
@@ -58,5 +65,6 @@ __all__ = [
     "match_baseline",
     "render_human",
     "render_json",
+    "render_sarif",
     "write_baseline",
 ]

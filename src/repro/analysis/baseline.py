@@ -8,7 +8,10 @@ historical violation — while any *new* violation still fails CI.
 Fingerprints deliberately exclude line numbers (see
 :data:`repro.analysis.engine.Fingerprint`), so unrelated edits that
 shift code do not invalidate the baseline; an *occurrence index*
-disambiguates identical findings within one file.
+disambiguates identical findings within one file.  Cross-file findings
+from the interprocedural rules additionally carry an *endpoint*
+(``path::qualname`` of the other end), so a baseline entry names both
+ends of the edge it excuses and dies when either moves.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from typing import List, Sequence, Set
 
 from repro.analysis.engine import Finding, Fingerprint, fingerprint_findings
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 #: Default baseline filename, resolved against the working directory.
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
@@ -54,6 +57,7 @@ def load_baseline(path: Path) -> Set[Fingerprint]:
                 str(entry["rule"]),
                 str(entry["path"]),
                 str(entry["message"]),
+                str(entry.get("endpoint", "")),
                 int(entry.get("occurrence", 0)),
             )
         )
@@ -63,8 +67,9 @@ def load_baseline(path: Path) -> Set[Fingerprint]:
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
     """Write the fingerprints of ``findings`` as a fresh baseline."""
     entries = [
-        {"rule": rule, "path": file_path, "message": message, "occurrence": occ}
-        for rule, file_path, message, occ in sorted(
+        {"rule": rule, "path": file_path, "message": message,
+         "endpoint": endpoint, "occurrence": occ}
+        for rule, file_path, message, endpoint, occ in sorted(
             fingerprint_findings(findings)
         )
     ]

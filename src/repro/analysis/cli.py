@@ -6,7 +6,8 @@ options and return identical exit codes:
 
 * 0 — no new findings (baselined findings do not fail the run),
 * 1 — at least one new finding or an unreadable file,
-* 2 — usage errors (unknown rule ids, bad baseline file).
+* 2 — usage errors (unknown rule ids, bad baseline file, refused
+  flag combinations such as ``--update-baseline`` with ``--select``).
 """
 
 from __future__ import annotations
@@ -22,8 +23,10 @@ from repro.analysis.baseline import (
     match_baseline,
     write_baseline,
 )
+from repro.analysis.cache import DEFAULT_CACHE_NAME, LintCache, config_key
 from repro.analysis.engine import Engine
-from repro.analysis.reporting import render_human, render_json
+from repro.analysis.fix import apply_fixes, plan_fixes
+from repro.analysis.reporting import render_human, render_json, render_sarif
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -33,7 +36,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to analyse (default: src)",
     )
     parser.add_argument(
-        "--format", choices=["human", "json"], default="human",
+        "--format", choices=["human", "json", "sarif"], default="human",
         dest="output_format", help="output format",
     )
     parser.add_argument(
@@ -50,12 +53,36 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from a full-rule run; refuses to run "
+             "with --select/--ignore (a partial run would silently drop "
+             "entries for the disabled rules)",
+    )
+    parser.add_argument(
         "--select", metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
         "--ignore", metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="auto-fix mechanically repairable findings (unused imports, "
+             "missing __all__, unambiguous unit-suffix renames), then "
+             "re-lint",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --fix: print the unified diff, write nothing",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=f"disable the incremental cache ({DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--cache-path", metavar="PATH", default=DEFAULT_CACHE_NAME,
+        help=argparse.SUPPRESS,  # for tests; the default name is the contract
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -65,6 +92,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.update_baseline and (args.select or args.ignore):
+        print(
+            "error: refusing to run --update-baseline with --select/"
+            "--ignore: a partial-rule run would write a partial baseline",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dry_run and not args.fix:
+        print("error: --dry-run requires --fix", file=sys.stderr)
+        return 2
+
     try:
         engine = Engine(
             select=_split(args.select), ignore=_split(args.ignore)
@@ -74,9 +112,10 @@ def run_lint(args: argparse.Namespace) -> int:
         return 2
 
     if args.list_rules:
-        from repro.analysis.rules import all_rules
+        from repro.analysis.rules import all_project_rules, all_rules
 
-        for rule_id, rule_cls in sorted(all_rules().items()):
+        catalogue = {**all_rules(), **all_project_rules()}
+        for rule_id, rule_cls in sorted(catalogue.items()):
             print(f"{rule_id}  {rule_cls.summary}")
         return 0
 
@@ -87,10 +126,42 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: no such path: {p}", file=sys.stderr)
         return 2
 
-    result = engine.check_paths(paths)
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(
+            Path(args.cache_path), config_key(engine.rule_ids)
+        )
+
+    result = engine.check_paths(paths, cache=cache)
+
+    if args.fix:
+        fixes = plan_fixes(result.findings)
+        if args.dry_run:
+            for fix in fixes:
+                diff = fix.diff()
+                if diff:
+                    print(diff, end="")
+            print(
+                f"would fix {sum(len(f.applied) for f in fixes)} finding(s) "
+                f"in {sum(1 for f in fixes if f.changed)} file(s) (dry run)"
+            )
+        else:
+            changed = apply_fixes(fixes)
+            print(
+                f"fixed {sum(len(f.applied) for f in fixes)} finding(s) "
+                f"in {changed} file(s)"
+            )
+            # Re-lint so the reported findings reflect the fixed tree.
+            result = engine.check_paths(paths, cache=cache)
+        for fix in fixes:
+            for rendered in fix.skipped:
+                print(f"not auto-fixable: {rendered}")
+
+    if cache is not None:
+        cache.save()
 
     baseline_path = Path(args.baseline)
-    if args.write_baseline:
+    if args.write_baseline or args.update_baseline:
         write_baseline(baseline_path, result.findings)
         print(
             f"wrote {len(result.findings)} finding"
@@ -110,6 +181,8 @@ def run_lint(args: argparse.Namespace) -> int:
 
     if args.output_format == "json":
         print(render_json(result, match))
+    elif args.output_format == "sarif":
+        print(render_sarif(result, match))
     else:
         print(render_human(result, match))
     return 1 if (match.new or result.errors) else 0

@@ -2,9 +2,15 @@
 
 A :class:`Rule` is an :class:`ast.NodeVisitor` subclass instantiated
 fresh for every analysed module; the :class:`Engine` parses each file
-once and hands the tree to every enabled rule.  Findings carry a
-``file:line:col`` anchor plus a line-independent *fingerprint* used by
-the baseline machinery (see :mod:`repro.analysis.baseline`).
+once and hands the tree to every enabled per-file rule.  A
+:class:`ProjectRule` runs in a second, whole-program phase over the
+:class:`repro.analysis.flow.project.Project` built from every analysed
+module's flow summary, so it can see across call and module boundaries.
+Findings carry a ``file:line:col`` anchor plus a line-independent
+*fingerprint* used by the baseline machinery (see
+:mod:`repro.analysis.baseline`); cross-file findings additionally name
+their far *endpoint* (``path::qualname``), which participates in the
+fingerprint so either end moving invalidates a baseline entry.
 
 Inline suppression follows the codebase convention::
 
@@ -12,35 +18,65 @@ Inline suppression follows the codebase convention::
 
 A bare ``# repro: noqa`` (no rule list) suppresses every rule on that
 line.  Suppressions apply to the physical line the finding is anchored
-to.
+to.  A malformed rule list (unclosed bracket, empty brackets, stray
+separators) suppresses *nothing* and is surfaced as a warning — a typo
+must never silently widen a suppression.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
-
-#: Matches ``# repro: noqa`` and ``# repro: noqa[RULE1,RULE2]``.
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
 )
+
+#: Bumped whenever findings, summaries, or rule semantics change shape;
+#: part of the incremental cache key so stale caches self-invalidate.
+TOOL_VERSION = "2.0"
+
+#: Matches ``# repro: noqa`` with an optional ``[RULE1,RULE2]`` list.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?P<rest>\[[^\]]*\])?")
+
+#: A well-formed, non-empty rule list: ``[DET001]``, ``[A, B]``.
+_NOQA_RULES_RE = re.compile(r"\[\s*[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*\s*\]")
 
 #: Sentinel meaning "every rule" in a noqa set.
 _ALL_RULES = "*"
 
+#: Identifier tokens, for the cheap reference scan over test/script trees.
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Directories scanned for name references (COR005's "never tested")
+#: when they exist under the working directory and are not analysed.
+DEFAULT_REFERENCE_ROOTS = ("tests", "scripts", "benchmarks", "examples")
+
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic anchored to a source location."""
+    """One diagnostic anchored to a source location.
+
+    ``endpoint`` is empty for single-file findings; interprocedural
+    rules set it to ``path::qualname`` of the other end (the callee, or
+    the function performing a transitive effect).
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    endpoint: str = ""
 
     def anchor(self) -> str:
         """``path:line:col`` string for terminals and editors."""
@@ -48,24 +84,43 @@ class Finding:
 
     def render(self) -> str:
         """The canonical one-line human rendering."""
-        return f"{self.anchor()}: {self.rule} {self.message}"
+        text = f"{self.anchor()}: {self.rule} {self.message}"
+        if self.endpoint:
+            text += f" [-> {self.endpoint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (cache record / reports)."""
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message,
+            "endpoint": self.endpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=data["rule"], path=data["path"], line=data["line"],
+            col=data["col"], message=data["message"],
+            endpoint=data.get("endpoint", ""),
+        )
 
 
 #: A line-independent identity for a finding: (rule, path, message,
-#: occurrence index among identical triples, ordered by line).  Stable
-#: across unrelated edits that merely shift line numbers.
-Fingerprint = Tuple[str, str, str, int]
+#: endpoint, occurrence index among identical tuples, ordered by line).
+#: Stable across unrelated edits that merely shift line numbers.
+Fingerprint = Tuple[str, str, str, str, int]
 
 
 def fingerprint_findings(findings: Iterable[Finding]) -> List[Fingerprint]:
     """Fingerprints for ``findings``, occurrence-indexed in line order."""
-    counts: Dict[Tuple[str, str, str], int] = {}
+    counts: Dict[Tuple[str, str, str, str], int] = {}
     prints: List[Fingerprint] = []
     for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
-        key = (f.rule, f.path, f.message)
+        key = (f.rule, f.path, f.message, f.endpoint)
         index = counts.get(key, 0)
         counts[key] = index + 1
-        prints.append((f.rule, f.path, f.message, index))
+        prints.append((f.rule, f.path, f.message, f.endpoint, index))
     return prints
 
 
@@ -78,6 +133,7 @@ class SourceModule:
     tree: ast.Module
     module: Tuple[str, ...]      # dotted-module parts, e.g. ("repro", "ntp", "wire")
     noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    noqa_problems: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def is_init(self) -> bool:
@@ -96,40 +152,75 @@ class SourceModule:
         return ".".join(self.module)
 
 
-def _parse_noqa(text: str) -> Dict[int, Set[str]]:
+def _parse_noqa(text: str) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
+    """Noqa table plus (line, description) pairs for malformed comments."""
     table: Dict[int, Set[str]] = {}
+    problems: List[Tuple[int, str]] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if "repro:" not in line:
             continue
         match = _NOQA_RE.search(line)
         if match is None:
             continue
-        rules = match.group("rules")
-        if rules is None:
+        rest = match.group("rest")
+        if rest is None:
+            # Bare noqa — but an unterminated bracket right after it is
+            # a typo'd rule list, not a deliberate suppress-everything.
+            tail = line[match.end():].lstrip()
+            if tail.startswith("["):
+                problems.append(
+                    (lineno,
+                     "malformed noqa rule list (unclosed '['); nothing "
+                     "is suppressed on this line")
+                )
+                continue
             table[lineno] = {_ALL_RULES}
-        else:
-            table[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
-    return table
+            continue
+        if not _NOQA_RULES_RE.fullmatch(rest):
+            problems.append(
+                (lineno,
+                 f"malformed noqa rule list {rest!r}; nothing is "
+                 "suppressed on this line")
+            )
+            continue
+        rules = rest.strip("[]")
+        table[lineno] = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    return table, problems
 
 
 def module_parts_for(path: Path) -> Tuple[str, ...]:
     """Infer dotted-module parts from a filesystem path.
 
     The convention is that everything under a ``repro`` directory is the
-    ``repro`` package (the repository keeps it under ``src/repro``).
-    Files outside any ``repro`` directory get a single-part module name,
-    which no package-scoped rule matches.
+    ``repro`` package (the repository keeps it under ``src/repro``), and
+    everything under a ``tests`` directory is the test tree (which the
+    determinism rules also police).  Files outside both get a
+    single-part module name, which no package-scoped rule matches.
     """
     parts = list(path.parts)
     if parts and parts[-1].endswith(".py"):
         parts[-1] = parts[-1][: -len(".py")]
     if "repro" in parts:
         mod = tuple(parts[parts.index("repro"):])
+    elif "tests" in parts:
+        mod = tuple(parts[parts.index("tests"):])
     else:
         mod = (parts[-1],) if parts else ()
     if mod and mod[-1] == "__init__":
         mod = mod[:-1] or ("repro",)
     return mod
+
+
+def source_from_text(
+    text: str, *, path: str, module: Tuple[str, ...]
+) -> SourceModule:
+    """Parse ``text`` into a SourceModule; raises ``SyntaxError``."""
+    tree = ast.parse(text, filename=path)
+    noqa, problems = _parse_noqa(text)
+    return SourceModule(
+        path=path, text=text, tree=tree, module=module,
+        noqa=noqa, noqa_problems=problems,
+    )
 
 
 def load_source(
@@ -140,11 +231,8 @@ def load_source(
     """Read and parse ``path``; raises ``SyntaxError`` / ``OSError``."""
     text = path.read_text(encoding="utf-8")
     display = display_path if display_path is not None else _display(path)
-    tree = ast.parse(text, filename=display)
     mod = module if module is not None else module_parts_for(path)
-    return SourceModule(
-        path=display, text=text, tree=tree, module=mod, noqa=_parse_noqa(text)
-    )
+    return source_from_text(text, path=display, module=mod)
 
 
 def _display(path: Path) -> str:
@@ -155,7 +243,7 @@ def _display(path: Path) -> str:
 
 
 class Rule(ast.NodeVisitor):
-    """Base class for analysis rules.
+    """Base class for per-file analysis rules.
 
     Subclasses set :attr:`rule_id` and :attr:`summary`, then override
     ``visit_*`` methods (or :meth:`run` for whole-module checks) and call
@@ -187,52 +275,102 @@ class Rule(ast.NodeVisitor):
         )
 
 
+class ProjectRule:
+    """Base class for whole-program (phase-two) rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary` and implement
+    :meth:`run` over ``self.project``, a
+    :class:`repro.analysis.flow.project.Project`.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def __init__(self, project: Any) -> None:
+        self.project = project
+        self.findings: List[Finding] = []
+
+    def run(self) -> List[Finding]:
+        """Analyse the project and return the findings."""
+        raise NotImplementedError
+
+    def report(
+        self,
+        *,
+        path: str,
+        lineno: int,
+        col: int,
+        message: str,
+        endpoint: str = "",
+    ) -> None:
+        """Record a finding at an explicit location."""
+        self.findings.append(
+            Finding(
+                rule=self.rule_id, path=path, line=lineno, col=col,
+                message=message, endpoint=endpoint,
+            )
+        )
+
+
 @dataclass
 class AnalysisResult:
     """Everything one engine run produced."""
 
     findings: List[Finding] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)   # unreadable/unparsable files
+    warnings: List[str] = field(default_factory=list)  # e.g. malformed noqa
     files_checked: int = 0
 
 
 class Engine:
-    """Runs a set of rules over files, applying noqa suppressions."""
+    """Runs per-file rules then project rules, applying suppressions."""
 
     def __init__(
         self,
         select: Optional[Sequence[str]] = None,
         ignore: Optional[Sequence[str]] = None,
     ) -> None:
-        from repro.analysis.rules import all_rules
+        from repro.analysis.rules import all_project_rules, all_rules
 
         registry = all_rules()
+        project_registry = all_project_rules()
+        known = set(registry) | set(project_registry)
         chosen = dict(registry)
+        chosen_project = dict(project_registry)
         if select:
             wanted = {r.upper() for r in select}
-            unknown = wanted - set(registry)
+            unknown = wanted - known
             if unknown:
                 raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
             chosen = {rid: cls for rid, cls in registry.items() if rid in wanted}
+            chosen_project = {
+                rid: cls for rid, cls in project_registry.items()
+                if rid in wanted
+            }
         if ignore:
             dropped = {r.upper() for r in ignore}
-            unknown = dropped - set(registry)
+            unknown = dropped - known
             if unknown:
                 raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
             chosen = {rid: cls for rid, cls in chosen.items() if rid not in dropped}
+            chosen_project = {
+                rid: cls for rid, cls in chosen_project.items()
+                if rid not in dropped
+            }
         self._rules = chosen
+        self._project_rules = chosen_project
 
     @property
     def rule_ids(self) -> List[str]:
         """Ids of the rules this engine runs, sorted."""
-        return sorted(self._rules)
+        return sorted(set(self._rules) | set(self._project_rules))
 
     def check_module(self, module: SourceModule) -> List[Finding]:
-        """Run every enabled rule over one parsed module."""
+        """Run every enabled per-file rule over one parsed module."""
         findings: List[Finding] = []
         for rule_cls in self._rules.values():
             findings.extend(rule_cls(module).run())
-        return [f for f in findings if not _suppressed(f, module)]
+        return [f for f in findings if not _suppressed(f, module.noqa)]
 
     def check_source(
         self,
@@ -240,34 +378,112 @@ class Engine:
         *,
         path: str = "<memory>",
         module: str = "sample",
+        project: bool = False,
     ) -> List[Finding]:
-        """Analyse a source string (test/fixture convenience)."""
-        sm = SourceModule(
-            path=path,
-            text=text,
-            tree=ast.parse(text, filename=path),
-            module=tuple(module.split(".")),
-            noqa=_parse_noqa(text),
-        )
-        return self.check_module(sm)
+        """Analyse a source string (test/fixture convenience).
 
-    def check_paths(self, paths: Sequence[Path]) -> AnalysisResult:
-        """Analyse files and directories (recursed for ``*.py``)."""
+        ``project=True`` additionally runs the interprocedural rules
+        over the single module, which resolves intra-module calls.
+        """
+        sm = source_from_text(text, path=path, module=tuple(module.split(".")))
+        findings = self.check_module(sm)
+        if project and self._project_rules:
+            from repro.analysis.flow import Project, summarize
+
+            proj = Project([summarize(sm)])
+            for rule_cls in self._project_rules.values():
+                findings.extend(
+                    f for f in rule_cls(proj).run()
+                    if not _suppressed(f, sm.noqa)
+                )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def check_paths(
+        self,
+        paths: Sequence[Path],
+        *,
+        cache: Optional[Any] = None,
+        reference_roots: Optional[Sequence[Path]] = None,
+    ) -> AnalysisResult:
+        """Analyse files and directories (recursed for ``*.py``).
+
+        ``cache`` is a :class:`repro.analysis.cache.LintCache` (duck
+        typed: ``lookup(path, digest)`` / ``store(path, digest,
+        record)``); cached files are not re-parsed.  ``reference_roots``
+        override the directories scanned for name references by the
+        dead-code rule (default: existing ``tests``/``scripts``/
+        ``benchmarks``/``examples`` directories).
+        """
+        from repro.analysis.flow import ModuleSummary, Project, summarize
+
         result = AnalysisResult()
+        records: List[Dict[str, Any]] = []
         for path in _collect_files(paths):
             try:
-                module = load_source(path)
-            except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+                raw = path.read_bytes()
+            except OSError as exc:
                 result.errors.append(f"{_display(path)}: {exc}")
                 continue
+            display = _display(path)
+            digest = hashlib.sha256(raw).hexdigest()
+            record = cache.lookup(display, digest) if cache is not None else None
+            if record is None:
+                try:
+                    text = raw.decode("utf-8")
+                    module = source_from_text(
+                        text, path=display, module=module_parts_for(path)
+                    )
+                except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+                    result.errors.append(f"{display}: {exc}")
+                    continue
+                record = {
+                    "findings": [
+                        f.to_dict() for f in self.check_module(module)
+                    ],
+                    "summary": summarize(module).to_dict(),
+                    "noqa": {
+                        str(line): sorted(rules)
+                        for line, rules in module.noqa.items()
+                    },
+                    "noqa_problems": [
+                        [line, text] for line, text in module.noqa_problems
+                    ],
+                }
+                if cache is not None:
+                    cache.store(display, digest, record)
+            records.append(record)
             result.files_checked += 1
-            result.findings.extend(self.check_module(module))
+            result.findings.extend(
+                Finding.from_dict(f) for f in record["findings"]
+            )
+            for line, text in record["noqa_problems"]:
+                result.warnings.append(f"{display}:{line}: {text}")
+        if self._project_rules and records:
+            summaries = [
+                ModuleSummary.from_dict(r["summary"]) for r in records
+            ]
+            noqa_by_path = {
+                s.path: {
+                    int(line): set(rules)
+                    for line, rules in r["noqa"].items()
+                }
+                for s, r in zip(summaries, records)
+            }
+            project = Project(
+                summaries,
+                _reference_tokens(reference_roots, analysed=paths),
+            )
+            for rule_cls in self._project_rules.values():
+                for f in rule_cls(project).run():
+                    if not _suppressed(f, noqa_by_path.get(f.path, {})):
+                        result.findings.append(f)
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return result
 
 
-def _suppressed(finding: Finding, module: SourceModule) -> bool:
-    rules = module.noqa.get(finding.line)
+def _suppressed(finding: Finding, noqa: Dict[int, Set[str]]) -> bool:
+    rules = noqa.get(finding.line)
     if not rules:
         return False
     return _ALL_RULES in rules or finding.rule in rules
@@ -284,3 +500,31 @@ def _collect_files(paths: Sequence[Path]) -> List[Path]:
         else:
             files.append(path)
     return files
+
+
+def _reference_tokens(
+    roots: Optional[Sequence[Path]], analysed: Sequence[Path]
+) -> Set[str]:
+    """Identifier tokens from reference trees (for COR005).
+
+    A deliberately coarse textual scan: any identifier occurring in a
+    test/script file counts as a reference, so dynamic access patterns
+    (``getattr(mod, "poll")``) keep a function alive.  Trees already
+    being analysed contribute AST-level references instead and are
+    skipped here.
+    """
+    if roots is None:
+        analysed_resolved = {p.resolve() for p in analysed}
+        roots = [
+            Path(name) for name in DEFAULT_REFERENCE_ROOTS
+            if Path(name).is_dir() and Path(name).resolve() not in analysed_resolved
+        ]
+    tokens: Set[str] = set()
+    for root in roots:
+        for file in _collect_files([root]):
+            try:
+                text = file.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+            tokens.update(_IDENT_RE.findall(text))
+    return tokens

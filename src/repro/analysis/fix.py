@@ -1,0 +1,251 @@
+"""Auto-fixes for the mechanical finding classes.
+
+``repro-mntp lint --fix`` rewrites exactly the violations whose repair
+is deterministic and provably local:
+
+* **COR004** — unused imports: the dead alias is dropped from its
+  ``import``/``from ... import`` statement (the whole statement when no
+  alias survives);
+* **COR003** — a package ``__init__`` binding public names without
+  ``__all__``: an ``__all__`` listing the public bound names, sorted,
+  is appended;
+* **UNIT005** — a unit-suffix rename, only where a *single consistent
+  fix exists*: the assignment target is a simple local name bound
+  exactly once in its scope, and the corrected name is not already in
+  use there.  All occurrences in the scope are renamed.
+
+Everything else (UNIT001/002/004, DET*, ...) needs judgement — a
+conversion, a refactor, or a justification — and is deliberately left
+to a human.  ``--fix --dry-run`` prints the unified diff and writes
+nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+#: Rules --fix knows how to repair.
+FIXABLE_RULES = frozenset({"COR003", "COR004", "UNIT005"})
+
+_UNUSED_IMPORT_RE = re.compile(r"import '(?P<name>[^']+)' is never used")
+_RENAME_RE = re.compile(
+    r"assignment target '(?P<target>[^']+)' is declared "
+    r"'(?P<declared>\w+)' but .* returns '(?P<actual>\w+)'"
+)
+
+
+@dataclass
+class FileFix:
+    """The outcome of fixing one file."""
+
+    path: str
+    original: str
+    fixed: str
+    applied: List[str] = field(default_factory=list)   # finding renderings
+    skipped: List[str] = field(default_factory=list)   # fixable but unsafe
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+    def diff(self) -> str:
+        """Unified diff of the fix, for ``--dry-run``."""
+        return "".join(
+            difflib.unified_diff(
+                self.original.splitlines(keepends=True),
+                self.fixed.splitlines(keepends=True),
+                fromfile=f"a/{self.path}",
+                tofile=f"b/{self.path}",
+            )
+        )
+
+
+def plan_fixes(findings: Sequence[Finding]) -> List[FileFix]:
+    """Compute fixes for every fixable finding, grouped per file.
+
+    Reads each affected file from disk; unreadable or since-changed
+    files are skipped silently (the next lint run reports them again).
+    """
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.rule in FIXABLE_RULES:
+            by_path.setdefault(finding.path, []).append(finding)
+    fixes: List[FileFix] = []
+    for path, file_findings in sorted(by_path.items()):
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=path)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        fixes.append(_fix_file(path, text, tree, file_findings))
+    return [f for f in fixes if f.changed or f.skipped]
+
+
+def apply_fixes(fixes: Sequence[FileFix]) -> int:
+    """Write fixed files back; returns the number of files changed."""
+    written = 0
+    for fix in fixes:
+        if fix.changed:
+            Path(fix.path).write_text(fix.fixed, encoding="utf-8")
+            written += 1
+    return written
+
+
+# ---------------------------------------------------------------------------
+# per-file mechanics
+
+
+def _fix_file(
+    path: str, text: str, tree: ast.Module, findings: Sequence[Finding]
+) -> FileFix:
+    fix = FileFix(path=path, original=text, fixed=text)
+    lines = text.splitlines(keepends=True)
+
+    # 1. Renames first: they never change line structure.
+    for finding in findings:
+        if finding.rule == "UNIT005":
+            if _apply_rename(lines, tree, finding, fix):
+                fix.applied.append(finding.render())
+            else:
+                fix.skipped.append(finding.render())
+
+    # 2. Import removals, bottom-up so line numbers stay valid.
+    removals = [f for f in findings if f.rule == "COR004"]
+    for finding in sorted(removals, key=lambda f: -f.line):
+        if _remove_import(lines, tree, finding):
+            fix.applied.append(finding.render())
+        else:
+            fix.skipped.append(finding.render())
+
+    # 3. Appends last.
+    for finding in findings:
+        if finding.rule == "COR003":
+            if _append_all(lines, tree):
+                fix.applied.append(finding.render())
+            else:
+                fix.skipped.append(finding.render())
+
+    fix.fixed = "".join(lines)
+    return fix
+
+
+def _remove_import(
+    lines: List[str], tree: ast.Module, finding: Finding
+) -> bool:
+    match = _UNUSED_IMPORT_RE.search(finding.message)
+    if match is None:
+        return False
+    name = match.group("name")
+    node = _import_at(tree, finding.line)
+    if node is None:
+        return False
+    kept = [
+        alias for alias in node.names
+        if (alias.asname or alias.name.split(".", 1)[0]) != name
+        and (alias.asname or alias.name) != name
+    ]
+    if len(kept) == len(node.names):
+        return False
+    indent = re.match(r"[ \t]*", lines[node.lineno - 1]).group(0)
+    end = getattr(node, "end_lineno", node.lineno)
+    if not kept:
+        replacement: List[str] = []
+    else:
+        node.names = kept
+        replacement = [indent + ast.unparse(node) + "\n"]
+    lines[node.lineno - 1:end] = replacement
+    return True
+
+
+def _import_at(tree: ast.Module, lineno: int) -> Optional[ast.stmt]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and node.lineno == lineno:
+            return node
+    return None
+
+
+def _append_all(lines: List[str], tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            return False  # already present (e.g. fixed earlier this run)
+    names: List[str] = []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            names.extend(
+                a.asname or a.name.split(".", 1)[0] for a in stmt.names
+            )
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module == "__future__":
+                continue
+            names.extend(a.asname or a.name for a in stmt.names if a.name != "*")
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.append(stmt.name)
+    public = sorted({n for n in names if not n.startswith("_")})
+    if not public:
+        return False
+    block = ["\n", "__all__ = [\n"]
+    block.extend(f'    "{name}",\n' for name in public)
+    block.append("]\n")
+    if lines and not lines[-1].endswith("\n"):
+        lines[-1] += "\n"
+    lines.extend(block)
+    return True
+
+
+def _apply_rename(
+    lines: List[str], tree: ast.Module, finding: Finding, fix: FileFix
+) -> bool:
+    match = _RENAME_RE.search(finding.message)
+    if match is None:
+        return False
+    old = match.group("target")
+    if not old.isidentifier():
+        return False  # attribute targets (self.x_s) are not local renames
+    declared, actual = match.group("declared"), match.group("actual")
+    if not old.endswith(f"_{declared}"):
+        return False
+    new = old[: -len(declared)] + actual
+    scope = _scope_at(tree, finding.line)
+    occurrences: List[Tuple[int, int]] = []
+    stores = 0
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Name):
+            if node.id == new:
+                return False  # corrected name already in use: not mechanical
+            if node.id == old:
+                occurrences.append((node.lineno, node.col_offset))
+                if isinstance(node.ctx, ast.Store):
+                    stores += 1
+        elif isinstance(node, ast.arg) and node.arg in (old, new):
+            return False  # parameter rename would change the API
+    if stores != 1 or not occurrences:
+        return False  # multiple bindings: no single consistent fix
+    for lineno, col in sorted(occurrences, reverse=True):
+        line = lines[lineno - 1]
+        if line[col:col + len(old)] != old:
+            return False  # source drifted under us; leave untouched
+        lines[lineno - 1] = line[:col] + new + line[col + len(old):]
+    return True
+
+
+def _scope_at(tree: ast.Module, lineno: int) -> ast.AST:
+    """Innermost function scope containing ``lineno`` (module if none)."""
+    best: ast.AST = tree
+    best_span = float("inf")
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            if node.lineno <= lineno <= end and end - node.lineno < best_span:
+                best = node
+                best_span = end - node.lineno
+    return best

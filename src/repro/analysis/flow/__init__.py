@@ -1,0 +1,43 @@
+"""Whole-program flow analysis: call graph, unit inference, effects.
+
+Phase one (:mod:`~repro.analysis.flow.summary`) reduces each parsed
+module to a JSON-serializable :class:`ModuleSummary`; phase two
+(:mod:`~repro.analysis.flow.project`) stitches summaries into a
+:class:`Project` — the call graph plus derived return units and
+transitive effect sets — that the interprocedural rules in
+:mod:`~repro.analysis.flow.rules` consume.
+"""
+
+from repro.analysis.flow.project import (
+    ClassEntry,
+    EffectPath,
+    FunctionEntry,
+    Project,
+)
+from repro.analysis.flow.summary import (
+    MODULE_BODY,
+    ArgUnit,
+    AssignFromCall,
+    CallSite,
+    ClassInfo,
+    EffectSite,
+    FunctionInfo,
+    ModuleSummary,
+    summarize,
+)
+
+__all__ = [
+    "ArgUnit",
+    "AssignFromCall",
+    "CallSite",
+    "ClassEntry",
+    "ClassInfo",
+    "EffectPath",
+    "EffectSite",
+    "FunctionEntry",
+    "FunctionInfo",
+    "MODULE_BODY",
+    "ModuleSummary",
+    "Project",
+    "summarize",
+]

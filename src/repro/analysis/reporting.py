@@ -1,12 +1,17 @@
-"""Finding renderers: human-readable lines and machine-readable JSON."""
+"""Finding renderers: human lines, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
 from repro.analysis.baseline import BaselineMatch
-from repro.analysis.engine import AnalysisResult
+from repro.analysis.engine import TOOL_VERSION, AnalysisResult
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_human(result: AnalysisResult, match: BaselineMatch) -> str:
@@ -20,11 +25,12 @@ def render_human(result: AnalysisResult, match: BaselineMatch) -> str:
     if match.baselined:
         summary += f" ({len(match.baselined)} baselined)"
     lines.append(summary)
-    for rule, path, message, occurrence in match.stale:
+    for rule, path, message, endpoint, occurrence in match.stale:
         lines.append(
             f"stale baseline entry: {rule} {path} "
             f"(occurrence {occurrence}): {message}"
         )
+    lines.extend(f"warning: {w}" for w in result.warnings)
     lines.extend(f"error: {err}" for err in result.errors)
     return "\n".join(lines)
 
@@ -40,15 +46,87 @@ def render_json(result: AnalysisResult, match: BaselineMatch) -> str:
                 "line": f.line,
                 "col": f.col,
                 "message": f.message,
+                "endpoint": f.endpoint,
             }
             for f in match.new
         ],
         "baselined": len(match.baselined),
         "stale_baseline": [
             {"rule": rule, "path": path, "message": message,
-             "occurrence": occurrence}
-            for rule, path, message, occurrence in match.stale
+             "endpoint": endpoint, "occurrence": occurrence}
+            for rule, path, message, endpoint, occurrence in match.stale
         ],
+        "warnings": list(result.warnings),
         "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: AnalysisResult, match: BaselineMatch) -> str:
+    """The run as a SARIF 2.1.0 log (new findings only, like the others)."""
+    from repro.analysis.rules import all_project_rules, all_rules
+
+    summaries: Dict[str, str] = {
+        rule_id: cls.summary
+        for rule_id, cls in {**all_rules(), **all_project_rules()}.items()
+    }
+    rule_ids = sorted({f.rule for f in match.new})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summaries.get(rule_id, rule_id)},
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; ours are 0-based.
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in match.new
+    ]
+    notifications = [
+        {"level": "warning", "message": {"text": text}}
+        for text in result.warnings
+    ] + [
+        {"level": "error", "message": {"text": text}}
+        for text in result.errors
+    ]
+    invocation = {"executionSuccessful": not result.errors}
+    if notifications:
+        invocation["toolExecutionNotifications"] = notifications
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-mntp-lint",
+                        "informationUri":
+                            "https://example.invalid/repro-mntp",
+                        "version": TOOL_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "invocations": [invocation],
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -86,12 +86,16 @@ class WallClockRule(_ImportAwareRule):
     rule_id = "DET001"
     summary = (
         "no wall-clock reads (time.time/monotonic/sleep, datetime.now) in "
-        "simulation packages; simulated time comes from Simulator.now"
+        "simulation packages or the tests tree; simulated time comes "
+        "from Simulator.now"
     )
 
     def run(self) -> List[Finding]:
-        """Only simulation packages are in scope for this rule."""
-        if self.module.package not in SIMULATION_PACKAGES:
+        """Simulation packages and the tests tree are in scope."""
+        if (
+            self.module.package not in SIMULATION_PACKAGES
+            and self.module.module[:1] != ("tests",)
+        ):
             return []
         return super().run()
 
@@ -99,10 +103,15 @@ class WallClockRule(_ImportAwareRule):
         """Flag calls that resolve to a host-clock function."""
         dotted = self._imports.resolve(node.func)
         if dotted in WALL_CLOCK_CALLS:
+            where = (
+                f"simulation package '{self.module.package}'"
+                if self.module.package in SIMULATION_PACKAGES
+                else "the tests tree"
+            )
             self.report(
                 node,
-                f"wall-clock call {dotted}() inside simulation package "
-                f"'{self.module.package}'; use the simulator's virtual time",
+                f"wall-clock call {dotted}() inside {where}; "
+                "use the simulator's virtual time",
             )
         self.generic_visit(node)
 

@@ -66,6 +66,27 @@ def test_write_baseline_then_lint_passes(tmp_path, capsys):
     assert "stale baseline entry" in capsys.readouterr().out
 
 
+def test_update_baseline_rewrites_the_file(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline),
+                 "--update-baseline", "--no-cache"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 2
+    assert any(e["rule"] == "DET001" for e in payload["entries"])
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline),
+                 "--no-cache"]) == 0
+
+
+def test_update_baseline_refuses_partial_rule_runs(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    for extra in (["--select", "DET001"], ["--ignore", "COR004"]):
+        assert main(["lint", str(tmp_path), "--update-baseline",
+                     *extra]) == 2
+        assert "refusing" in capsys.readouterr().err
+
+
 def test_select_restricts_rules(tmp_path, capsys):
     target = _seed_violation(tmp_path)
     target.write_text(target.read_text() + "\n\nimport os\n")

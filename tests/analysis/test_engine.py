@@ -44,6 +44,73 @@ def test_noqa_for_other_rule_does_not_suppress():
     assert [f.rule for f in findings] == ["DET001"]
 
 
+def test_noqa_multi_rule_list_suppresses_each_listed_rule():
+    src = (
+        "import os, time\n"  # COR002 (multi-import) + COR004 (os unused)
+        "\n\n"
+        "def now():\n"
+        "    return time.time()\n"
+    ).replace(
+        "import os, time",
+        "import os, time  # repro: noqa[COR002, COR004]",
+    )
+    findings = check_source(src, module="repro.simcore.clocksource")
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_noqa_multi_rule_list_leaves_unlisted_rule_on_same_line():
+    # The line produces COR002 and COR004; only COR002 is listed, so
+    # COR004 must survive.
+    src = (
+        "import os, time  # repro: noqa[COR002]\n"
+        "\n\n"
+        "def _now():\n"
+        "    return time.time()  # repro: noqa[DET001]\n"
+    )
+    findings = check_source(src, module="repro.simcore.clocksource")
+    assert [f.rule for f in findings] == ["COR004"]
+
+
+@pytest.mark.parametrize("comment", [
+    "# repro: noqa[DET001",      # unclosed bracket
+    "# repro: noqa[]",           # empty rule list
+    "# repro: noqa[,]",          # separators only
+    "# repro: noqa[DET001,,COR001]",  # doubled separator
+])
+def test_malformed_noqa_warns_and_suppresses_nothing(tmp_path, comment):
+    target = tmp_path / "repro" / "simcore" / "clk.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        WALL_CLOCK_SRC.replace(
+            "return time.time()", f"return time.time()  {comment}"
+        )
+    )
+    result = Engine(select=["DET001"]).check_paths([target])
+    assert [f.rule for f in result.findings] == ["DET001"]
+    assert len(result.warnings) == 1
+    assert "malformed noqa" in result.warnings[0]
+    assert "clk.py:4" in result.warnings[0]
+
+
+def test_malformed_noqa_warning_reaches_human_and_json_output(tmp_path):
+    from repro.analysis.baseline import match_baseline
+    from repro.analysis.reporting import render_human, render_json
+
+    target = tmp_path / "repro" / "simcore" / "clk.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        WALL_CLOCK_SRC.replace(
+            "return time.time()", "return time.time()  # repro: noqa[]"
+        )
+    )
+    result = Engine(select=["DET001"]).check_paths([target])
+    match = match_baseline(result.findings, set())
+    assert "warning:" in render_human(result, match)
+    import json
+
+    assert json.loads(render_json(result, match))["warnings"]
+
+
 def test_noqa_on_different_line_does_not_suppress():
     src = "# repro: noqa[DET001]\n" + WALL_CLOCK_SRC
     findings = check_source(src, module="repro.simcore.clocksource")
@@ -84,8 +151,21 @@ def test_fingerprints_are_line_independent_with_occurrence_index():
     ]
     assert fingerprint_findings(first) == fingerprint_findings(shifted)
     assert fingerprint_findings(first) == [
-        ("COR004", "a.py", "import 'os' is never used", 0),
-        ("COR004", "a.py", "import 'os' is never used", 1),
+        ("COR004", "a.py", "import 'os' is never used", "", 0),
+        ("COR004", "a.py", "import 'os' is never used", "", 1),
+    ]
+
+
+def test_fingerprint_includes_endpoint_for_cross_file_findings():
+    plain = Finding("UNIT005", "a.py", 3, 1, "unit mismatch")
+    with_endpoint = Finding(
+        "UNIT005", "a.py", 3, 1, "unit mismatch", endpoint="b.py::helper"
+    )
+    assert fingerprint_findings([plain]) != fingerprint_findings(
+        [with_endpoint]
+    )
+    assert fingerprint_findings([with_endpoint]) == [
+        ("UNIT005", "a.py", "unit mismatch", "b.py::helper", 0),
     ]
 
 

@@ -1,0 +1,117 @@
+"""The auto-fix engine: dry-run is inert, --fix converges to clean."""
+
+from repro.analysis.cli import main
+from repro.analysis.engine import Engine
+from repro.analysis.fix import FIXABLE_RULES, apply_fixes, plan_fixes
+
+FIXTURE = """\
+import os
+import json
+
+
+def delay_ms() -> float:
+    return 5.0
+
+
+def use() -> float:
+    wait_s = delay_ms()
+    return wait_s + json.loads("1")
+"""
+
+
+def _tree(tmp_path, text=FIXTURE):
+    target = tmp_path / "repro" / "util" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(text)
+    return target
+
+
+def test_dry_run_prints_diff_and_changes_nothing(tmp_path, capsys):
+    target = _tree(tmp_path)
+    before = target.read_text()
+    code = main([
+        str(tmp_path), "--no-baseline", "--no-cache", "--fix", "--dry-run",
+    ])
+    out = capsys.readouterr().out
+    assert target.read_text() == before
+    assert "-import os" in out
+    assert "-    wait_s = delay_ms()" in out
+    assert "+    wait_ms = delay_ms()" in out
+    assert "(dry run)" in out
+    # Findings are still reported (and still fail the run): nothing was fixed.
+    assert code == 1
+
+
+def test_fix_applies_and_relints_clean(tmp_path, capsys):
+    target = _tree(tmp_path)
+    code = main([str(tmp_path), "--no-baseline", "--no-cache", "--fix"])
+    out = capsys.readouterr().out
+    assert "fixed 2 finding(s) in 1 file(s)" in out
+    assert code == 0
+    text = target.read_text()
+    assert "import os" not in text
+    assert "wait_ms = delay_ms()" in text
+    assert "wait_s" not in text
+    # A second run over the fixed tree finds nothing.
+    assert main([str(tmp_path), "--no-baseline", "--no-cache"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_dry_run_without_fix_is_a_usage_error(tmp_path, capsys):
+    code = main([str(tmp_path), "--dry-run"])
+    assert code == 2
+    assert "--dry-run requires --fix" in capsys.readouterr().err
+
+
+def test_unsafe_rename_is_skipped(tmp_path, capsys):
+    # wait_s is bound twice: no single consistent fix, so --fix must
+    # leave it alone and say so.
+    target = _tree(tmp_path, """\
+def delay_ms() -> float:
+    return 5.0
+
+
+def use(flag) -> float:
+    wait_s = delay_ms()
+    if flag:
+        wait_s = 0.0
+    return wait_s
+""")
+    before = target.read_text()
+    code = main([str(tmp_path), "--no-baseline", "--no-cache", "--fix"])
+    out = capsys.readouterr().out
+    assert target.read_text() == before
+    assert "not auto-fixable" in out
+    assert code == 1
+
+
+def test_rename_blocked_when_target_name_exists(tmp_path):
+    target = _tree(tmp_path, """\
+def delay_ms() -> float:
+    return 5.0
+
+
+def use() -> float:
+    wait_ms = 1.0
+    wait_s = delay_ms()
+    return wait_s + wait_ms
+""")
+    result = Engine().check_paths([tmp_path], reference_roots=[])
+    fixes = plan_fixes(result.findings)
+    assert all(not f.changed for f in fixes)
+    assert any(f.skipped for f in fixes)
+
+
+def test_plan_fixes_only_touches_fixable_rules(tmp_path):
+    # Findings here (COR005 dead function) have no mechanical repair.
+    _tree(tmp_path, "import time\n\n\ndef now():\n    return time.time()\n")
+    result = Engine().check_paths([tmp_path], reference_roots=[])
+    assert all(f.rule not in FIXABLE_RULES for f in result.findings)
+    assert plan_fixes(result.findings) == []
+
+
+def test_apply_fixes_reports_written_count(tmp_path):
+    _tree(tmp_path)
+    result = Engine().check_paths([tmp_path], reference_roots=[])
+    fixes = plan_fixes(result.findings)
+    assert apply_fixes(fixes) == 1

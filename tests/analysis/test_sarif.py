@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output: structure, locations, and notifications."""
+
+import json
+
+from repro.analysis.baseline import match_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import TOOL_VERSION, AnalysisResult, Finding
+from repro.analysis.reporting import render_sarif
+
+
+def _doc(result, match):
+    return json.loads(render_sarif(result, match))
+
+
+def test_sarif_document_structure():
+    findings = [
+        Finding("DET001", "src/repro/simcore/x.py", 4, 12,
+                "no wall clock in simulation code"),
+        Finding("UNIT004", "src/repro/ntp/y.py", 9, 5,
+                "argument unit mismatch", endpoint="src/repro/ntp/z.py::f"),
+    ]
+    result = AnalysisResult(findings=findings, files_checked=2)
+    doc = _doc(result, match_baseline(findings, set()))
+
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-mntp-lint"
+    assert driver["version"] == TOOL_VERSION
+
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {"DET001", "UNIT004"}
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+
+    assert len(run["results"]) == 2
+    for res in run["results"]:
+        assert res["level"] == "error"
+        assert res["message"]["text"]
+        # ruleIndex must agree with the rules array.
+        assert driver["rules"][res["ruleIndex"]]["id"] == res["ruleId"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].startswith("src/")
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1
+
+
+def test_sarif_columns_are_one_based():
+    findings = [Finding("COR004", "a.py", 1, 0, "import 'os' is never used")]
+    result = AnalysisResult(findings=findings, files_checked=1)
+    doc = _doc(result, match_baseline(findings, set()))
+    region = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]
+    assert region["startColumn"] == 1
+
+
+def test_sarif_warnings_become_notifications():
+    result = AnalysisResult(
+        files_checked=1,
+        warnings=["x.py:3: malformed noqa rule list"],
+        errors=["y.py: invalid syntax"],
+    )
+    doc = _doc(result, match_baseline([], set()))
+    (invocation,) = doc["runs"][0]["invocations"]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert {n["level"] for n in notes} == {"warning", "error"}
+
+
+def test_sarif_baselined_findings_are_excluded():
+    findings = [Finding("COR004", "a.py", 1, 0, "import 'os' is never used")]
+    result = AnalysisResult(findings=findings, files_checked=1)
+    baseline = {("COR004", "a.py", "import 'os' is never used", "", 0)}
+    doc = _doc(result, match_baseline(findings, baseline))
+    assert doc["runs"][0]["results"] == []
+
+
+def test_cli_emits_valid_sarif(tmp_path, capsys):
+    target = tmp_path / "repro" / "simcore" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\n\n\ndef _now():\n    return time.time()\n")
+    code = main([
+        str(tmp_path), "--no-baseline", "--no-cache", "--format", "sarif",
+    ])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["DET001"]
+    assert results[0]["locations"][0]["physicalLocation"][
+        "artifactLocation"]["uri"].endswith("repro/simcore/mod.py")
