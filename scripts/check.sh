@@ -21,6 +21,13 @@ python -m repro.analysis src
 echo "== repro-mntp lint (determinism rules, tests)"
 python -m repro.analysis tests --select DET001,DET002,DET003,DET004 --no-baseline
 
+echo "== repro-mntp lint (hot-path perf + parallel readiness, src)"
+# The tentpole gate: no unbaselined per-iteration cost in the sim hot
+# closure, no shared mutable state that would break a shard split.
+python -m repro.analysis src \
+    --select PERF001,PERF002,PERF003,PERF004,CONC001,CONC002,CONC003 \
+    --no-baseline
+
 if python -m ruff --version >/dev/null 2>&1; then
     echo "== ruff"
     python -m ruff check src tests
@@ -49,6 +56,15 @@ if [[ "${1:-}" != "--fast" ]]; then
     # Exit 1 if hardened MNTP fails to recover from any smoke-matrix
     # episode; see docs/ROBUSTNESS.md.
     python -m repro.cli chaos --smoke --json > /dev/null
+
+    echo "== profile harness (smoke)"
+    # Writes benchmarks/profile-smoke.json (git-ignored) and appends a
+    # profile run to the BENCH_obs.json trajectory.
+    python -m repro.cli profile --smoke
+
+    echo "== lint --profile (hot-path report ranked by measured cost)"
+    python -m repro.analysis src --profile benchmarks/profile-smoke.json \
+        --hot-report
 fi
 
 echo "== all checks passed"

@@ -77,6 +77,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --fix: print the unified diff, write nothing",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-file phase (default 1: "
+             "in-process; output is identical either way)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-phase timing and cache hit rate after the report",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH", dest="profile_path",
+        help="rank findings and the hot-path report by measured cost "
+             "from a 'repro-mntp profile' artifact",
+    )
+    parser.add_argument(
+        "--hot-report", action="store_true",
+        help="print the hot-closure report (static order, or measured "
+             "order with --profile)",
+    )
+    parser.add_argument(
+        "--hot-top", type=int, default=15, metavar="N",
+        help="rows shown in the hot-path report (default 15)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help=f"disable the incremental cache ({DEFAULT_CACHE_NAME})",
     )
@@ -102,6 +125,19 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.dry_run and not args.fix:
         print("error: --dry-run requires --fix", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+
+    profile = None
+    if args.profile_path:
+        from repro.analysis.profile import load_profile
+
+        try:
+            profile = load_profile(Path(args.profile_path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     try:
         engine = Engine(
@@ -132,7 +168,7 @@ def run_lint(args: argparse.Namespace) -> int:
             Path(args.cache_path), config_key(engine.rule_ids)
         )
 
-    result = engine.check_paths(paths, cache=cache)
+    result = engine.check_paths(paths, cache=cache, jobs=args.jobs)
 
     if args.fix:
         fixes = plan_fixes(result.findings)
@@ -152,7 +188,7 @@ def run_lint(args: argparse.Namespace) -> int:
                 f"in {changed} file(s)"
             )
             # Re-lint so the reported findings reflect the fixed tree.
-            result = engine.check_paths(paths, cache=cache)
+            result = engine.check_paths(paths, cache=cache, jobs=args.jobs)
         for fix in fixes:
             for rendered in fix.skipped:
                 print(f"not auto-fixable: {rendered}")
@@ -179,12 +215,43 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
     match = match_baseline(result.findings, baseline)
 
+    if profile is not None:
+        from repro.analysis.flow.hot import rank_findings_by_profile
+
+        match.new = rank_findings_by_profile(
+            match.new, result.project, profile
+        )
+
+    if (args.hot_report or profile is not None) and result.project is not None:
+        from repro.analysis.flow.hot import render_hot_report
+
+        report = render_hot_report(
+            result.project, profile=profile, top=args.hot_top
+        )
+        # Keep json/sarif stdout machine-parseable.
+        stream = sys.stdout if args.output_format == "human" else sys.stderr
+        print(report, file=stream)
+
     if args.output_format == "json":
         print(render_json(result, match))
     elif args.output_format == "sarif":
         print(render_sarif(result, match))
     else:
         print(render_human(result, match))
+
+    if args.stats:
+        stats = result.stats
+        checked = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+        rate = stats.get("cache_hits", 0) / checked if checked else 0.0
+        stream = sys.stdout if args.output_format == "human" else sys.stderr
+        print(
+            f"stats: {stats.get('files', 0)} files, cache "
+            f"{stats.get('cache_hits', 0)}/{checked} hits ({rate:.0%}), "
+            f"jobs {stats.get('jobs', 1)}, "
+            f"phase1 {stats.get('phase1_s', 0.0):.3f}s, "
+            f"phase2 {stats.get('phase2_s', 0.0):.3f}s",
+            file=stream,
+        )
     return 1 if (match.new or result.errors) else 0
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import ast
 import hashlib
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -43,10 +44,14 @@ from typing import (
 
 #: Bumped whenever findings, summaries, or rule semantics change shape;
 #: part of the incremental cache key so stale caches self-invalidate.
-TOOL_VERSION = "2.0"
+TOOL_VERSION = "3.0"
 
 #: Matches ``# repro: noqa`` with an optional ``[RULE1,RULE2]`` list.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?P<rest>\[[^\]]*\])?")
+
+#: Matches ``# repro: hot`` — forces the function defined on that line
+#: into the hot closure (see :mod:`repro.analysis.flow.hot`).
+_HOT_RE = re.compile(r"#\s*repro:\s*hot\b")
 
 #: A well-formed, non-empty rule list: ``[DET001]``, ``[A, B]``.
 _NOQA_RULES_RE = re.compile(r"\[\s*[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*\s*\]")
@@ -134,6 +139,7 @@ class SourceModule:
     module: Tuple[str, ...]      # dotted-module parts, e.g. ("repro", "ntp", "wire")
     noqa: Dict[int, Set[str]] = field(default_factory=dict)
     noqa_problems: List[Tuple[int, str]] = field(default_factory=list)
+    hot_lines: Set[int] = field(default_factory=set)  # "# repro: hot" lines
 
     @property
     def is_init(self) -> bool:
@@ -188,6 +194,15 @@ def _parse_noqa(text: str) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str]]]:
     return table, problems
 
 
+def _parse_hot(text: str) -> Set[int]:
+    """Line numbers carrying a ``# repro: hot`` annotation."""
+    lines: Set[int] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "repro:" in line and _HOT_RE.search(line):
+            lines.add(lineno)
+    return lines
+
+
 def module_parts_for(path: Path) -> Tuple[str, ...]:
     """Infer dotted-module parts from a filesystem path.
 
@@ -219,7 +234,7 @@ def source_from_text(
     noqa, problems = _parse_noqa(text)
     return SourceModule(
         path=path, text=text, tree=tree, module=module,
-        noqa=noqa, noqa_problems=problems,
+        noqa=noqa, noqa_problems=problems, hot_lines=_parse_hot(text),
     )
 
 
@@ -314,12 +329,21 @@ class ProjectRule:
 
 @dataclass
 class AnalysisResult:
-    """Everything one engine run produced."""
+    """Everything one engine run produced.
+
+    ``project`` is the phase-two :class:`~repro.analysis.flow.project.
+    Project` when interprocedural rules ran (``None`` otherwise); it is
+    never serialized, but the CLI uses it for the hot-path report.
+    ``stats`` carries per-phase timings and cache hit counts for
+    ``lint --stats``.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)   # unreadable/unparsable files
     warnings: List[str] = field(default_factory=list)  # e.g. malformed noqa
     files_checked: int = 0
+    project: Optional[Any] = None
+    stats: Dict[str, Any] = field(default_factory=dict)
 
 
 class Engine:
@@ -332,6 +356,10 @@ class Engine:
     ) -> None:
         from repro.analysis.rules import all_project_rules, all_rules
 
+        # Kept verbatim so --jobs worker processes can rebuild an
+        # identical engine from picklable arguments.
+        self._select_arg = list(select) if select else None
+        self._ignore_arg = list(ignore) if ignore else None
         registry = all_rules()
         project_registry = all_project_rules()
         known = set(registry) | set(project_registry)
@@ -399,12 +427,39 @@ class Engine:
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return findings
 
+    def phase_one_record(
+        self, raw: bytes, display: str, module_parts: Tuple[str, ...]
+    ) -> Dict[str, Any]:
+        """Phase one for one file: parse, per-file rules, flow summary.
+
+        Returns the JSON-serializable cache record.  Raises
+        ``SyntaxError`` / ``UnicodeDecodeError`` / ``ValueError`` for
+        unparsable input.  Pure with respect to engine state, so it is
+        safe to run in a ``--jobs`` worker process.
+        """
+        from repro.analysis.flow import summarize
+
+        text = raw.decode("utf-8")
+        module = source_from_text(text, path=display, module=module_parts)
+        return {
+            "findings": [f.to_dict() for f in self.check_module(module)],
+            "summary": summarize(module).to_dict(),
+            "noqa": {
+                str(line): sorted(rules)
+                for line, rules in module.noqa.items()
+            },
+            "noqa_problems": [
+                [line, text] for line, text in module.noqa_problems
+            ],
+        }
+
     def check_paths(
         self,
         paths: Sequence[Path],
         *,
         cache: Optional[Any] = None,
         reference_roots: Optional[Sequence[Path]] = None,
+        jobs: int = 1,
     ) -> AnalysisResult:
         """Analyse files and directories (recursed for ``*.py``).
 
@@ -413,12 +468,19 @@ class Engine:
         record)``); cached files are not re-parsed.  ``reference_roots``
         override the directories scanned for name references by the
         dead-code rule (default: existing ``tests``/``scripts``/
-        ``benchmarks``/``examples`` directories).
+        ``benchmarks``/``examples`` directories).  ``jobs > 1`` fans the
+        per-file phase out over a process pool; results merge back in
+        file order, so output and cache contents are identical to a
+        serial run.
         """
-        from repro.analysis.flow import ModuleSummary, Project, summarize
+        from repro.analysis.flow import ModuleSummary, Project
 
+        phase1_start = time.perf_counter()
         result = AnalysisResult()
-        records: List[Dict[str, Any]] = []
+        hits = 0
+        # One slot per readable file, filled from cache, worker pool, or
+        # the serial path — always consumed in file order.
+        slots: List[Tuple[str, str, Optional[Dict[str, Any]], bytes, Tuple[str, ...]]] = []
         for path in _collect_files(paths):
             try:
                 raw = path.read_bytes()
@@ -428,28 +490,27 @@ class Engine:
             display = _display(path)
             digest = hashlib.sha256(raw).hexdigest()
             record = cache.lookup(display, digest) if cache is not None else None
-            if record is None:
+            if record is not None:
+                hits += 1
+            slots.append((display, digest, record, raw, module_parts_for(path)))
+        pending = [i for i, slot in enumerate(slots) if slot[2] is None]
+        computed: Dict[int, Any] = {}
+        if jobs > 1 and len(pending) > 1:
+            computed = self._pool_phase_one(slots, pending, jobs)
+        else:
+            for i in pending:
+                display, _, _, raw, parts = slots[i]
                 try:
-                    text = raw.decode("utf-8")
-                    module = source_from_text(
-                        text, path=display, module=module_parts_for(path)
-                    )
+                    computed[i] = self.phase_one_record(raw, display, parts)
                 except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
-                    result.errors.append(f"{display}: {exc}")
+                    computed[i] = f"{display}: {exc}"
+        records: List[Dict[str, Any]] = []
+        for i, (display, digest, record, _, _) in enumerate(slots):
+            if record is None:
+                record = computed[i]
+                if isinstance(record, str):  # error text from phase one
+                    result.errors.append(record)
                     continue
-                record = {
-                    "findings": [
-                        f.to_dict() for f in self.check_module(module)
-                    ],
-                    "summary": summarize(module).to_dict(),
-                    "noqa": {
-                        str(line): sorted(rules)
-                        for line, rules in module.noqa.items()
-                    },
-                    "noqa_problems": [
-                        [line, text] for line, text in module.noqa_problems
-                    ],
-                }
                 if cache is not None:
                     cache.store(display, digest, record)
             records.append(record)
@@ -459,6 +520,7 @@ class Engine:
             )
             for line, text in record["noqa_problems"]:
                 result.warnings.append(f"{display}:{line}: {text}")
+        phase2_start = time.perf_counter()
         if self._project_rules and records:
             summaries = [
                 ModuleSummary.from_dict(r["summary"]) for r in records
@@ -474,12 +536,76 @@ class Engine:
                 summaries,
                 _reference_tokens(reference_roots, analysed=paths),
             )
+            result.project = project
             for rule_cls in self._project_rules.values():
                 for f in rule_cls(project).run():
                     if not _suppressed(f, noqa_by_path.get(f.path, {})):
                         result.findings.append(f)
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        end = time.perf_counter()
+        result.stats = {
+            "files": len(slots),
+            "cache_hits": hits,
+            "cache_misses": len(pending),
+            "jobs": jobs,
+            "phase1_s": phase2_start - phase1_start,
+            "phase2_s": end - phase2_start,
+        }
         return result
+
+    def _pool_phase_one(
+        self,
+        slots: Sequence[Tuple[str, str, Optional[Dict[str, Any]], bytes, Tuple[str, ...]]],
+        pending: Sequence[int],
+        jobs: int,
+    ) -> Dict[int, Any]:
+        """Run phase one for cache misses on a process pool.
+
+        ``executor.map`` preserves input order, so the merge back into
+        ``slots`` order is deterministic regardless of which worker
+        finished first.  Falls back to serial execution when the
+        platform cannot spawn processes (restricted sandboxes).
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        items = [
+            (slots[i][0], slots[i][3], slots[i][4]) for i in pending
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(items)),
+                initializer=_pool_init,
+                initargs=(self._select_arg, self._ignore_arg),
+            ) as pool:
+                outputs = list(pool.map(_pool_run, items, chunksize=4))
+        except (OSError, ValueError, RuntimeError):
+            outputs = []
+            for display, raw, parts in items:
+                try:
+                    outputs.append(self.phase_one_record(raw, display, parts))
+                except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+                    outputs.append(f"{display}: {exc}")
+        return dict(zip(pending, outputs))
+
+
+#: Per-process engine for the --jobs pool, built once by the initializer
+#: so each worker pays rule-registry setup a single time.
+_POOL_ENGINE: Optional[Engine] = None
+
+
+def _pool_init(select: Optional[List[str]], ignore: Optional[List[str]]) -> None:
+    global _POOL_ENGINE
+    _POOL_ENGINE = Engine(select=select, ignore=ignore)
+
+
+def _pool_run(item: Tuple[str, bytes, Tuple[str, ...]]) -> Any:
+    """Phase one in a worker: a record dict, or error text on failure."""
+    display, raw, parts = item
+    assert _POOL_ENGINE is not None
+    try:
+        return _POOL_ENGINE.phase_one_record(raw, display, parts)
+    except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+        return f"{display}: {exc}"
 
 
 def _suppressed(finding: Finding, noqa: Dict[int, Set[str]]) -> bool:

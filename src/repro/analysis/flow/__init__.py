@@ -8,6 +8,12 @@ transitive effect sets — that the interprocedural rules in
 :mod:`~repro.analysis.flow.rules` consume.
 """
 
+from repro.analysis.flow.hot import (
+    HOT_ROOTS,
+    SHARD_PACKAGES,
+    hot_closure,
+    render_hot_report,
+)
 from repro.analysis.flow.project import (
     ClassEntry,
     EffectPath,
@@ -22,7 +28,10 @@ from repro.analysis.flow.summary import (
     ClassInfo,
     EffectSite,
     FunctionInfo,
+    ModuleGlobal,
     ModuleSummary,
+    MutationSite,
+    PerfSite,
     summarize,
 )
 
@@ -36,8 +45,15 @@ __all__ = [
     "EffectSite",
     "FunctionEntry",
     "FunctionInfo",
+    "HOT_ROOTS",
     "MODULE_BODY",
+    "ModuleGlobal",
     "ModuleSummary",
+    "MutationSite",
+    "PerfSite",
     "Project",
+    "SHARD_PACKAGES",
+    "hot_closure",
+    "render_hot_report",
     "summarize",
 ]

@@ -1,0 +1,275 @@
+"""Hot-path performance and parallel-readiness rules.
+
+PERF001–PERF004 surface per-iteration costs (allocation churn, string
+construction, repeated deep lookups, append-only loops), but *only*
+inside the hot closure (:mod:`repro.analysis.flow.hot`): the same code
+in a report formatter is not worth a diagnostic.  Every finding names
+its witness chain back to a hot root, so the reader can see why the
+function is considered hot, and carries the root as its baseline
+endpoint — if the code stops being reachable from the inner loop, the
+baseline entry goes stale as it should.
+
+CONC001–CONC003 are the static contract for the future per-server
+shard split (ROADMAP #1): module-level mutable state written by hot
+code, class attributes shared across instances, and process-global
+caches/counters all break the moment the event loop forks into worker
+processes.  The PR 3 datagram-counter bug was exactly the CONC003
+shape, found by hand; these rules find the next one mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.flow.hot import SHARD_PACKAGES, chain_label, hot_closure
+from repro.analysis.rules import register_project
+
+
+class _HotSiteRule(ProjectRule):
+    """Shared driver: one PERF rule per :class:`PerfSite` kind."""
+
+    kind = ""
+    advice = ""
+    label = ""
+
+    def run(self) -> List[Finding]:
+        """Every matching site inside every hot function."""
+        project = self.project
+        closure = hot_closure(project)
+        for full in sorted(closure):
+            entry = project.functions[full]
+            chain = closure[full]
+            root = project.functions[chain[0]]
+            for site in entry.info.perf_sites:
+                if site.kind != self.kind:
+                    continue
+                self.report(
+                    path=entry.module.path,
+                    lineno=site.lineno,
+                    col=site.col,
+                    message=(
+                        f"{self.label.format(detail=site.detail)} in hot "
+                        f"function '{entry.display}' ({chain_label(chain)}); "
+                        f"{self.advice}"
+                    ),
+                    endpoint=root.endpoint() if len(chain) > 1 else "",
+                )
+        return self.findings
+
+
+@register_project
+class AllocationChurnRule(_HotSiteRule):
+    """Flag containers built per iteration inside hot loops."""
+
+    rule_id = "PERF001"
+    summary = (
+        "no per-iteration container construction (displays, "
+        "comprehensions, list()/dict()/set() calls) inside a loop of a "
+        "hot-closure function"
+    )
+    kind = "alloc"
+    label = "{detail} built every loop iteration"
+    advice = "hoist it out of the loop or preallocate"
+
+
+@register_project
+class StringChurnRule(_HotSiteRule):
+    """Flag strings formatted per iteration inside hot loops."""
+
+    rule_id = "PERF002"
+    summary = (
+        "no per-iteration string construction (f-strings, str.format, "
+        "%-formatting) inside a loop of a hot-closure function"
+    )
+    kind = "format"
+    label = "{detail} evaluated every loop iteration"
+    advice = "precompute the string or move the formatting off the hot path"
+
+
+@register_project
+class RepeatedLookupRule(_HotSiteRule):
+    """Flag deep attribute/key chains re-resolved within one hot loop."""
+
+    rule_id = "PERF003"
+    summary = (
+        "no deep attribute/key lookup chain repeated 3+ times within "
+        "one loop of a hot-closure function"
+    )
+    kind = "lookup"
+    label = "repeated lookup {detail}"
+    advice = "bind it to a local before the loop"
+
+
+@register_project
+class AppendLoopRule(_HotSiteRule):
+    """Flag append-only loops in hot code (comprehension/numpy shape)."""
+
+    rule_id = "PERF004"
+    summary = (
+        "no loop whose whole body is one list.append in a hot-closure "
+        "function; a comprehension or numpy batch operation does the "
+        "same without per-item bytecode"
+    )
+    kind = "append"
+    label = "append-only loop filling {detail}"
+    advice = "use a comprehension or a numpy batch operation"
+
+
+@register_project
+class SharedGlobalMutationRule(ProjectRule):
+    """Flag module-level mutables written by hot-closure code."""
+
+    rule_id = "CONC001"
+    summary = (
+        "no module-level mutable container mutated by a hot-closure "
+        "function; per-shard state must live on an instance "
+        "(ROADMAP #1)"
+    )
+
+    def run(self) -> List[Finding]:
+        """Every (module global, hot mutator) pair, anchored at the global."""
+        project = self.project
+        closure = hot_closure(project)
+        for full in sorted(closure):
+            entry = project.functions[full]
+            table = {
+                g.name: g
+                for g in entry.module.module_globals
+                if g.kind == "mutable"
+            }
+            reported = set()
+            for mutation in entry.info.mutations:
+                if mutation.scope != "global":
+                    continue
+                target = table.get(mutation.name)
+                if target is None or mutation.name in reported:
+                    continue
+                reported.add(mutation.name)
+                self.report(
+                    path=entry.module.path,
+                    lineno=target.lineno,
+                    col=target.col,
+                    message=(
+                        f"module-level mutable '{mutation.name}' is "
+                        f"written ({mutation.how}) by hot function "
+                        f"'{entry.display}' "
+                        f"({chain_label(closure[full])}); process-wide "
+                        "state breaks the per-server shard split — move "
+                        "it onto an instance"
+                    ),
+                    endpoint=entry.endpoint(),
+                )
+        return self.findings
+
+
+@register_project
+class ClassAttrMutationRule(ProjectRule):
+    """Flag cross-instance class-attribute writes in sim-reachable code."""
+
+    rule_id = "CONC002"
+    summary = (
+        "no mutating a class-level mutable through self, and no runtime "
+        "writes to class attributes, in hot-closure or shard-package "
+        "code: every instance shares that state"
+    )
+
+    def run(self) -> List[Finding]:
+        """Every class-scope mutation in a policed method."""
+        project = self.project
+        closure = hot_closure(project)
+        for full in sorted(project.functions):
+            entry = project.functions[full]
+            info = entry.info
+            if not info.is_method:
+                continue
+            if full not in closure and (
+                entry.module.package not in SHARD_PACKAGES
+            ):
+                continue
+            mutable_attrs = self._mutable_attrs(entry)
+            for mutation in info.mutations:
+                if mutation.scope != "class":
+                    continue
+                attr = mutation.name.rpartition(".")[2]
+                if mutation.how == "mutate":
+                    if attr not in mutable_attrs:
+                        continue  # plain instance attribute: private state
+                    message = (
+                        f"'{entry.display}' mutates class-level mutable "
+                        f"'{mutation.name}' through self; every instance "
+                        "shares one object — initialize it per instance "
+                        "in __init__"
+                    )
+                else:
+                    message = (
+                        f"'{entry.display}' writes class attribute "
+                        f"'{mutation.name}' at runtime; cross-instance "
+                        "state breaks the per-server shard split — store "
+                        "it on the instance"
+                    )
+                self.report(
+                    path=entry.module.path,
+                    lineno=mutation.lineno,
+                    col=mutation.col,
+                    message=message,
+                    endpoint=f"{entry.module.path}::{mutation.name}",
+                )
+        return self.findings
+
+    def _mutable_attrs(self, entry) -> Dict[str, int]:
+        cls = self.project.classes.get(
+            f"{entry.module.dotted()}.{entry.class_name}"
+        )
+        return cls.info.mutable_class_attrs if cls is not None else {}
+
+
+@register_project
+class NonReentrantStateRule(ProjectRule):
+    """Flag process-global caches and counters in sim-reachable code."""
+
+    rule_id = "CONC003"
+    summary = (
+        "no functools caches on hot-closure functions and no "
+        "module-level itertools.count in shard packages: both are "
+        "process-global and leak across runs and shards"
+    )
+
+    def run(self) -> List[Finding]:
+        """Memo-cached hot functions, then shared counters per module."""
+        project = self.project
+        closure = hot_closure(project)
+        for full in sorted(closure):
+            entry = project.functions[full]
+            if entry.info.cache_decorator_lineno is None:
+                continue
+            self.report(
+                path=entry.module.path,
+                lineno=entry.info.cache_decorator_lineno,
+                col=entry.info.col,
+                message=(
+                    f"hot function '{entry.display}' is memoized with a "
+                    f"functools cache ({chain_label(closure[full])}); a "
+                    "process-wide cache is shared across shards and "
+                    "survives run boundaries — use per-instance state"
+                ),
+            )
+        for summary in project.summaries:
+            if summary.package not in SHARD_PACKAGES:
+                continue
+            for module_global in summary.module_globals:
+                if module_global.kind != "counter":
+                    continue
+                self.report(
+                    path=summary.path,
+                    lineno=module_global.lineno,
+                    col=module_global.col,
+                    message=(
+                        f"module-level itertools.count "
+                        f"'{module_global.name}' in simulation code is a "
+                        "process-global sequence; values leak across "
+                        "runs and shards — allocate from per-run state "
+                        "(e.g. Simulator.datagram_ids)"
+                    ),
+                )
+        return self.findings

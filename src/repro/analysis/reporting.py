@@ -2,11 +2,38 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, List
 
 from repro.analysis.baseline import BaselineMatch
-from repro.analysis.engine import TOOL_VERSION, AnalysisResult
+from repro.analysis.engine import (
+    TOOL_VERSION,
+    AnalysisResult,
+    Finding,
+    fingerprint_findings,
+)
+
+#: partialFingerprints key: bump the suffix with the baseline version.
+_FINGERPRINT_KEY = "reproLintFingerprint/v2"
+
+
+def _partial_fingerprints(match: BaselineMatch) -> Dict[int, str]:
+    """``id(finding)`` -> stable hash of its 5-field baseline fingerprint.
+
+    Computed over new + baselined findings together so the occurrence
+    index matches the baseline file exactly; SARIF consumers use the
+    hash to track a result across runs even as line numbers move.
+    """
+    combined: List[Finding] = list(match.new) + list(match.baselined)
+    ordered = sorted(combined, key=lambda f: (f.path, f.line, f.col, f.rule))
+    table: Dict[int, str] = {}
+    for finding, fingerprint in zip(ordered, fingerprint_findings(combined)):
+        digest = hashlib.sha256(
+            json.dumps(list(fingerprint)).encode("utf-8")
+        ).hexdigest()[:16]
+        table[id(finding)] = digest
+    return table
 
 _SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -79,12 +106,16 @@ def render_sarif(result: AnalysisResult, match: BaselineMatch) -> str:
         }
         for rule_id in rule_ids
     ]
+    fingerprints = _partial_fingerprints(match)
     results = [
         {
             "ruleId": f.rule,
             "ruleIndex": rule_index[f.rule],
             "level": "error",
             "message": {"text": f.message},
+            "partialFingerprints": {
+                _FINGERPRINT_KEY: fingerprints[id(f)],
+            },
             "locations": [
                 {
                     "physicalLocation": {

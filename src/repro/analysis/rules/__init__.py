@@ -53,6 +53,7 @@ def _load() -> None:
         from repro.analysis.rules import robustness  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import units  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.flow import rules as flow_rules  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.flow import perf as flow_perf  # noqa: F401  # repro: noqa[COR004]
 
         _LOADED = True
 

@@ -1,0 +1,420 @@
+"""Hot-path perf rules (PERF001-004), parallel-readiness rules
+(CONC001-003), and the hot-closure machinery they share.
+
+Single-module cases go through ``check_source(project=True)`` with a
+``# repro: hot`` annotation standing in for reachability from the
+simulator inner loop; the meta-tests at the bottom run the real tree so
+:data:`HOT_ROOTS` can never silently drift away from the source.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Engine, check_source
+from repro.analysis.baseline import match_baseline, write_baseline
+from repro.analysis.engine import fingerprint_findings
+from repro.analysis.flow.hot import HOT_ROOTS, chain_label, hot_closure
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PERF_RULES = ["PERF001", "PERF002", "PERF003", "PERF004"]
+CONC_RULES = ["CONC001", "CONC002", "CONC003"]
+
+
+def _check(src, select, module="repro.simcore.node"):
+    return check_source(src, module=module, project=True, select=select)
+
+
+def _rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — allocation churn
+
+
+def test_perf001_container_in_hot_loop():
+    src = """\
+def step():  # repro: hot
+    total = 0
+    for i in range(10):
+        d = {"i": i}
+        total += len(d)
+    return total
+"""
+    findings = _check(src, ["PERF001"])
+    assert _rules_of(findings) == ["PERF001"]
+    assert "dict display" in findings[0].message
+    assert "hot root" in findings[0].message
+
+
+def test_perf001_silent_outside_hot_closure():
+    src = """\
+def step():
+    total = 0
+    for i in range(10):
+        d = {"i": i}
+        total += len(d)
+    return total
+"""
+    assert _check(src, ["PERF001"]) == []
+
+
+def test_perf001_silent_outside_loops():
+    src = """\
+def step():  # repro: hot
+    d = {"i": 1}
+    return len(d)
+"""
+    assert _check(src, ["PERF001"]) == []
+
+
+def test_perf001_generator_expression_is_exempt():
+    src = """\
+def step():  # repro: hot
+    total = 0
+    for i in range(10):
+        total += sum(j for j in range(i))
+    return total
+"""
+    assert _check(src, ["PERF001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# PERF002 — string churn
+
+
+def test_perf002_fstring_in_hot_loop():
+    src = """\
+def step():  # repro: hot
+    n = 0
+    for i in range(10):
+        label = f"sample {i}"
+        n += len(label)
+    return n
+"""
+    findings = _check(src, ["PERF002"])
+    assert _rules_of(findings) == ["PERF002"]
+    assert "f-string" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# PERF003 — repeated deep lookups
+
+
+def test_perf003_repeated_chain_in_one_loop():
+    src = """\
+def step(node):  # repro: hot
+    acc = 0.0
+    for _ in range(10):
+        acc += node.clock.skew
+        acc -= node.clock.skew
+        acc *= node.clock.skew
+    return acc
+"""
+    findings = _check(src, ["PERF003"])
+    assert _rules_of(findings) == ["PERF003"]
+    assert "'node.clock.skew' (3x in one loop)" in findings[0].message
+
+
+def test_perf003_loop_bound_root_is_silent():
+    src = """\
+def step(nodes):  # repro: hot
+    acc = 0.0
+    for node in nodes:
+        acc += node.clock.skew
+        acc -= node.clock.skew
+        acc *= node.clock.skew
+    return acc
+"""
+    assert _check(src, ["PERF003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# PERF004 — append-only loops
+
+
+def test_perf004_append_only_loop():
+    src = """\
+def step():  # repro: hot
+    out = []
+    for i in range(10):
+        out.append(i * 2)
+    return out
+"""
+    findings = _check(src, ["PERF004"])
+    assert _rules_of(findings) == ["PERF004"]
+    assert "'out'" in findings[0].message
+
+
+def test_perf004_loop_with_other_work_is_silent():
+    src = """\
+def step():  # repro: hot
+    out = []
+    n = 0
+    for i in range(10):
+        n += i
+        out.append(i)
+    return out, n
+"""
+    assert _check(src, ["PERF004"]) == []
+
+
+# ---------------------------------------------------------------------------
+# witness chains
+
+
+def test_perf_finding_carries_witness_chain_and_endpoint():
+    src = """\
+def step():  # repro: hot
+    return helper()
+
+
+def helper():
+    out = []
+    for i in range(3):
+        out.append(i)
+    return out
+"""
+    findings = _check(src, ["PERF004"])
+    assert _rules_of(findings) == ["PERF004"]
+    assert "hot via" in findings[0].message
+    assert "step" in findings[0].message
+    assert findings[0].endpoint.endswith("::step")
+
+
+def test_perf_finding_in_root_itself_has_no_endpoint():
+    src = """\
+def step():  # repro: hot
+    out = []
+    for i in range(3):
+        out.append(i)
+    return out
+"""
+    findings = _check(src, ["PERF004"])
+    assert findings[0].endpoint == ""
+
+
+def test_noqa_on_witness_chain_site_suppresses():
+    src = """\
+def step():  # repro: hot
+    return helper()
+
+
+def helper():
+    out = []
+    for i in range(3):  # repro: noqa[PERF004]
+        out.append(i)
+    return out
+"""
+    assert _check(src, ["PERF004"]) == []
+
+
+def test_chain_label_caps_long_chains():
+    chain = [f"m.f{i}" for i in range(8)]
+    label = chain_label(chain)
+    assert "..." in label
+    assert chain[-1] in label
+    assert chain[4] not in label
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — module-level mutable state
+
+
+def test_conc001_global_mutated_by_hot_code():
+    src = """\
+_registry = {}
+
+
+def on_event(key):  # repro: hot
+    _registry[key] = 1
+"""
+    findings = _check(src, ["CONC001"])
+    assert _rules_of(findings) == ["CONC001"]
+    assert findings[0].line == 1  # anchored at the global, not the write
+    assert "'_registry'" in findings[0].message
+    assert findings[0].endpoint.endswith("::on_event")
+
+
+def test_conc001_read_only_global_is_silent():
+    src = """\
+_table = {"a": 1}
+
+
+def on_event(key):  # repro: hot
+    return _table.get(key)
+"""
+    assert _check(src, ["CONC001"]) == []
+
+
+def test_conc001_local_shadow_is_silent():
+    src = """\
+_registry = {}
+
+
+def on_event(key):  # repro: hot
+    _registry = {}
+    _registry[key] = 1
+    return _registry
+"""
+    assert _check(src, ["CONC001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — cross-instance class-attribute state
+
+
+def test_conc002_class_level_mutable_mutated_through_self():
+    src = """\
+class Node:
+    peers = []
+
+    def on_event(self, peer):  # repro: hot
+        self.peers.append(peer)
+"""
+    findings = _check(src, ["CONC002"])
+    assert _rules_of(findings) == ["CONC002"]
+    assert "'Node.peers'" in findings[0].message
+    assert findings[0].endpoint.endswith("::Node.peers")
+
+
+def test_conc002_instance_attribute_is_silent():
+    src = """\
+class Node:
+    def __init__(self):
+        self.peers = []
+
+    def on_event(self, peer):  # repro: hot
+        self.peers.append(peer)
+"""
+    assert _check(src, ["CONC002"]) == []
+
+
+def test_conc002_runtime_class_write_in_shard_package():
+    # No hot annotation: shard-package membership alone polices writes
+    # *to the class object*, which are cross-instance by construction.
+    src = """\
+class Node:
+    count = 0
+
+    def bump(self):
+        Node.count = Node.count + 1
+"""
+    findings = _check(src, ["CONC002"], module="repro.net.demo")
+    assert _rules_of(findings) == ["CONC002"]
+    assert "class attribute" in findings[0].message
+
+
+def test_conc002_silent_outside_shard_packages():
+    src = """\
+class Report:
+    count = 0
+
+    def bump(self):
+        Report.count = Report.count + 1
+"""
+    assert _check(src, ["CONC002"], module="repro.logs.demo") == []
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — process-global caches and counters
+
+
+def test_conc003_cached_hot_function():
+    src = """\
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def poll_interval(stratum):  # repro: hot
+    return 2 ** stratum
+"""
+    findings = _check(src, ["CONC003"])
+    assert _rules_of(findings) == ["CONC003"]
+    assert "functools cache" in findings[0].message
+
+
+def test_conc003_module_counter_in_shard_package():
+    src = """\
+import itertools
+
+_ids = itertools.count(1)
+"""
+    findings = _check(src, ["CONC003"], module="repro.net.demo")
+    assert _rules_of(findings) == ["CONC003"]
+    assert "'_ids'" in findings[0].message
+
+
+def test_conc003_counter_outside_shard_packages_is_silent():
+    src = """\
+import itertools
+
+_ids = itertools.count(1)
+"""
+    assert _check(src, ["CONC003"], module="repro.logs.demo") == []
+
+
+# ---------------------------------------------------------------------------
+# baseline-v2 interaction
+
+
+def test_perf_fingerprints_survive_line_shifts():
+    src = """\
+def step():  # repro: hot
+    out = []
+    for i in range(3):
+        out.append(i)
+    return out
+"""
+    shifted = "X = 1\n\n\n" + src
+    prints = fingerprint_findings(_check(src, ["PERF004"]))
+    shifted_prints = fingerprint_findings(_check(shifted, ["PERF004"]))
+    assert prints == shifted_prints
+    assert len(prints) == 1
+
+
+def test_perf_findings_round_trip_through_baseline(tmp_path):
+    src = """\
+_registry = {}
+
+
+def on_event(key):  # repro: hot
+    _registry[key] = 1
+"""
+    findings = _check(src, CONC_RULES)
+    assert findings
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    from repro.analysis.baseline import load_baseline
+
+    match = match_baseline(_check(src, CONC_RULES),
+                           load_baseline(baseline_path))
+    assert match.new == []
+    assert len(match.baselined) == len(findings)
+    assert match.stale == []
+
+
+# ---------------------------------------------------------------------------
+# hot closure over the real tree
+
+
+def test_hot_roots_resolve_in_shipped_source():
+    """Every HOT_ROOTS entry must name a real function, or the list has
+    drifted from the source and the PERF scope silently shrank."""
+    engine = Engine(select=["PERF001"])
+    result = engine.check_paths([REPO_ROOT / "src"])
+    assert result.project is not None
+    missing = [r for r in HOT_ROOTS if r not in result.project.functions]
+    assert missing == []
+
+    closure = hot_closure(result.project)
+    # The acceptance bar: the event loop and the wireless sampler are in
+    # the hot closure, and the closure reaches beyond the roots.
+    assert "repro.simcore.simulator.Simulator.run_until" in closure
+    assert "repro.wireless.channel.WirelessChannel._step_once" in closure
+    assert len(closure) > len(HOT_ROOTS)
+    # Chains are witness paths: every chain starts at a root.
+    roots = {full for full, chain in closure.items() if len(chain) == 1}
+    for full, chain in closure.items():
+        assert chain[0] in roots
+        assert chain[-1] == full

@@ -1,0 +1,211 @@
+"""The ``repro-mntp profile`` harness, ``lint --profile`` ranking, and
+the ``--jobs``/``--stats`` lint options.
+
+Profile wall-clock fields are machine-dependent, so assertions stick to
+call counts (deterministic under a fixed seed) and top-N membership —
+never to time values or exact rank order.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.profile import (
+    PROFILE_FORMAT,
+    ProfileData,
+    append_trajectory,
+    load_profile,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Short virtual duration: enough exchanges for every hot root to run.
+_DURATION = "120"
+
+
+def _make_artifact(tmp_path, name="prof.json", seed="1"):
+    out = tmp_path / name
+    code = main([
+        "--seed", seed, "profile", "--scenario", "mntp_wireless_corrected",
+        "--duration", _DURATION, "--out", str(out), "--no-trajectory",
+    ])
+    assert code == 0
+    return out
+
+
+def test_profile_writes_valid_artifact(tmp_path, capsys):
+    out = _make_artifact(tmp_path)
+    doc = json.loads(out.read_text())
+    assert doc["format"] == PROFILE_FORMAT
+    assert doc["scenario"] == "mntp_wireless_corrected"
+    assert doc["seed"] == 1
+    assert doc["duration_s"] == 120.0
+    names = {(f["path"], f["name"]) for f in doc["functions"]}
+    assert ("repro/simcore/simulator.py", "run_until") in names
+    for row in doc["functions"]:
+        assert row["path"].startswith("repro/")
+        assert row["ncalls"] >= 1
+    stdout = capsys.readouterr().out
+    assert "top" in stdout
+    assert "run_until" in stdout
+
+
+def test_profile_call_counts_are_deterministic(tmp_path):
+    first = json.loads(_make_artifact(tmp_path, "a.json").read_text())
+    second = json.loads(_make_artifact(tmp_path, "b.json").read_text())
+
+    def counts(doc):
+        return {(f["path"], f["line"], f["name"]): f["ncalls"]
+                for f in doc["functions"]}
+
+    assert counts(first) == counts(second)
+
+
+def test_profile_rejects_unknown_scenario(tmp_path, capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):  # argparse enforces choices
+        main(["profile", "--scenario", "nope",
+              "--out", str(tmp_path / "x.json")])
+
+
+def test_load_profile_rejects_foreign_documents(tmp_path):
+    import pytest
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError):
+        load_profile(bad)
+
+
+def test_profile_lookup_normalizes_paths():
+    data = ProfileData({
+        "format": PROFILE_FORMAT, "scenario": "s", "seed": 1,
+        "duration_s": 1.0,
+        "functions": [
+            {"path": "repro/net/link.py", "line": 10, "name": "send",
+             "ncalls": 7, "tottime_s": 0.1, "cumtime_s": 0.2},
+        ],
+    })
+    # Lint displays are cwd-relative with a src/ prefix; artifact paths
+    # are repo-relative.  Both must hit the same entry.
+    assert data.lookup("src/repro/net/link.py", "send")["ncalls"] == 7
+    assert data.lookup("/abs/tree/src/repro/net/link.py", "send") is not None
+    assert data.lookup("src/repro/net/link.py", "recv") is None
+
+
+def test_trajectory_append_creates_and_extends(tmp_path):
+    doc = {
+        "format": PROFILE_FORMAT, "scenario": "s", "seed": 1,
+        "duration_s": 1.0,
+        "functions": [
+            {"path": "repro/a.py", "line": 1, "name": "f",
+             "ncalls": 3, "tottime_s": 0.1, "cumtime_s": 0.2},
+        ],
+    }
+    trajectory = tmp_path / "BENCH_obs.json"
+    assert append_trajectory(trajectory, doc, wall_s=0.5) == 1
+    assert append_trajectory(trajectory, doc, wall_s=0.6) == 2
+    payload = json.loads(trajectory.read_text())
+    assert payload["format"] == "mntp-bench-trajectory-v1"
+    assert [r["run"] for r in payload["runs"]] == [1, 2]
+    assert all(r["mode"] == "profile" for r in payload["runs"])
+    top = payload["runs"][0]["profile"]["top_cumtime"]
+    assert top[0]["function"] == "repro/a.py::f"
+
+
+def test_trajectory_append_never_clobbers_foreign_files(tmp_path):
+    doc = {"format": PROFILE_FORMAT, "scenario": "s", "seed": 1,
+           "duration_s": 1.0, "functions": []}
+    foreign = tmp_path / "BENCH_obs.json"
+    foreign.write_text('{"something": "precious"}')
+    assert append_trajectory(foreign, doc, wall_s=0.5) is None
+    assert json.loads(foreign.read_text()) == {"something": "precious"}
+
+
+# ---------------------------------------------------------------------------
+# lint --profile / --hot-report
+
+
+def test_lint_profile_ranks_and_reports(tmp_path, monkeypatch, capsys):
+    out = _make_artifact(tmp_path)
+    capsys.readouterr()  # drop the profile command's own output
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src", "--profile", str(out), "--no-cache"]) == 0
+    stdout = capsys.readouterr().out
+    assert "hot closure:" in stdout
+    assert "ranked by cumtime from scenario 'mntp_wireless_corrected'" \
+        in stdout
+    # The acceptance bar: the event loop tops the measured closure.
+    report_lines = [
+        line for line in stdout.splitlines() if "x  repro." in line
+    ]
+    assert any("Simulator.run_until" in line for line in report_lines[:5])
+
+
+def test_lint_hot_report_without_profile_is_static(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src", "--hot-report", "--no-cache"]) == 0
+    stdout = capsys.readouterr().out
+    assert "hot closure:" in stdout
+    assert "depth" in stdout
+    assert "ranked by" not in stdout
+
+
+def test_lint_profile_rejects_bad_artifact(tmp_path, monkeypatch, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "not-a-profile"}')
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src", "--profile", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# --jobs / --stats
+
+
+def _seed_tree(tmp_path):
+    pkg = tmp_path / "repro" / "simcore"
+    pkg.mkdir(parents=True)
+    (pkg / "one.py").write_text(
+        '"""Fixture."""\n\nimport time\n\n\ndef f():\n'
+        "    return time.time()\n"
+    )
+    (pkg / "two.py").write_text(
+        '"""Fixture."""\n\n\ndef g():  # repro: hot\n'
+        "    out = []\n"
+        "    for i in range(3):\n"
+        "        out.append(i)\n"
+        "    return out\n"
+    )
+
+
+def test_jobs_output_matches_serial(tmp_path, capsys):
+    _seed_tree(tmp_path)
+    base = ["lint", str(tmp_path), "--no-baseline", "--no-cache"]
+    assert main(base) == 1
+    serial = capsys.readouterr().out
+    assert main(base + ["--jobs", "2"]) == 1
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert "DET001" in serial
+    assert "PERF004" in serial
+
+
+def test_jobs_must_be_positive(tmp_path, capsys):
+    assert main(["lint", str(tmp_path), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_stats_reports_cache_and_phases(tmp_path, capsys):
+    _seed_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    base = ["lint", str(tmp_path), "--no-baseline", "--stats",
+            "--cache-path", str(cache)]
+    main(base)
+    cold = capsys.readouterr().out
+    assert "stats: 2 files, cache 0/2 hits (0%)" in cold
+    assert "phase1" in cold and "phase2" in cold
+    main(base)
+    warm = capsys.readouterr().out
+    assert "cache 2/2 hits (100%)" in warm

@@ -89,3 +89,49 @@ def test_cli_emits_valid_sarif(tmp_path, capsys):
     assert [r["ruleId"] for r in results] == ["DET001"]
     assert results[0]["locations"][0]["physicalLocation"][
         "artifactLocation"]["uri"].endswith("repro/simcore/mod.py")
+
+
+def test_sarif_results_carry_partial_fingerprints():
+    findings = [
+        Finding("DET001", "src/repro/simcore/x.py", 4, 12,
+                "no wall clock in simulation code"),
+        Finding("DET001", "src/repro/simcore/x.py", 9, 12,
+                "no wall clock in simulation code"),
+    ]
+    result = AnalysisResult(findings=findings, files_checked=1)
+    doc = _doc(result, match_baseline(findings, set()))
+    prints = [
+        r["partialFingerprints"]["reproLintFingerprint/v2"]
+        for r in doc["runs"][0]["results"]
+    ]
+    assert all(len(p) == 16 and int(p, 16) >= 0 for p in prints)
+    # Identical findings are distinguished by their occurrence index.
+    assert prints[0] != prints[1]
+
+
+def test_sarif_fingerprints_are_stable_across_line_shifts():
+    def digest_at(line):
+        findings = [Finding("COR004", "a.py", line, 0,
+                            "import 'os' is never used")]
+        result = AnalysisResult(findings=findings, files_checked=1)
+        doc = _doc(result, match_baseline(findings, set()))
+        return doc["runs"][0]["results"][0][
+            "partialFingerprints"]["reproLintFingerprint/v2"]
+
+    assert digest_at(1) == digest_at(40)
+
+
+def test_sarif_fingerprints_count_occurrences_with_baselined(tmp_path):
+    # A baselined sibling must still advance the occurrence index, so
+    # the hash matches what a no-baseline run would produce.
+    findings = [
+        Finding("COR004", "a.py", 1, 0, "import 'os' is never used"),
+        Finding("COR004", "a.py", 9, 0, "import 'os' is never used"),
+    ]
+    result = AnalysisResult(findings=findings, files_checked=1)
+    baseline = {("COR004", "a.py", "import 'os' is never used", "", 0)}
+    with_baseline = _doc(result, match_baseline(findings, baseline))
+    without = _doc(result, match_baseline(findings, set()))
+    (survivor,) = with_baseline["runs"][0]["results"]
+    assert survivor["partialFingerprints"] == without["runs"][0][
+        "results"][1]["partialFingerprints"]
