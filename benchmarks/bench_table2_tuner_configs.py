@@ -25,7 +25,7 @@ PAPER_TABLE2 = {
 }
 
 
-def bench_table2_tuner_configs(once, report):
+def bench_table2_tuner_configs(once, report, throughput):
     def run():
         trace = TraceLogger(seed=SEED, options=LoggerOptions()).run()
         searcher = ParameterSearcher(trace)
@@ -35,6 +35,12 @@ def bench_table2_tuner_configs(once, report):
         }
 
     results = once(run)
+    # Each config replays the 4-hour logged trace through the emulator;
+    # its request count is the exchanges that replay performed.
+    throughput(
+        exchanges=sum(r.requests for r in results.values()),
+        simulated_s=len(results) * 4 * 3600.0,
+    )
 
     rows = []
     for num, result in results.items():

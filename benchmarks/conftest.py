@@ -8,6 +8,13 @@ is wall-clock timed (per bench module, repeats accumulate) and the
 totals are written there as JSON at session end — the payload
 ``scripts/bench.py`` turns into ``BENCH_obs.json`` and regression
 verdicts.
+
+Benches that know how much simulated work they performed declare it
+through the ``throughput`` fixture (protocol exchanges + simulated
+virtual seconds); the session document then carries a ``throughput``
+section keyed like ``benches``, which ``scripts/bench.py`` converts
+into exchanges/sec and simulated-hours/sec rates and gates against the
+trajectory.
 """
 
 import json
@@ -19,6 +26,10 @@ import pytest
 BENCH_FORMAT = "mntp-bench-v1"
 
 _timer = None
+
+#: bench module name -> {"exchanges": ..., "simulated_s": ...},
+#: accumulated across items of the same module (repeats sum).
+_throughput = {}
 
 
 def pytest_configure(config):
@@ -52,6 +63,14 @@ def pytest_sessionfinish(session, exitstatus):
         "total_seconds": round(_timer.total(), 6),
         "exit_status": int(exitstatus),
     }
+    if _throughput:
+        document["throughput"] = {
+            k: {
+                "exchanges": round(v["exchanges"], 3),
+                "simulated_s": round(v["simulated_s"], 3),
+            }
+            for k, v in sorted(_throughput.items())
+        }
     with open(path, "w") as f:
         json.dump(document, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -70,6 +89,29 @@ def report(request):
             print(f"\n{text}")
 
     return _report
+
+
+@pytest.fixture
+def throughput(request):
+    """Record how much simulated work this bench's seconds bought.
+
+    ``throughput(exchanges=..., simulated_s=...)`` — total protocol
+    exchanges (requests that entered the wire, answered or not) and
+    total simulated virtual seconds across every run the bench timed.
+    Recorded under the bench's module name, matching the timing key, so
+    ``scripts/bench.py`` can denominate the wall clock in work done.
+    Repeated calls (parametrised items of one module) accumulate.
+    """
+    name = request.module.__name__.rsplit(".", 1)[-1]
+
+    def _throughput_record(exchanges, simulated_s):
+        entry = _throughput.setdefault(
+            name, {"exchanges": 0.0, "simulated_s": 0.0}
+        )
+        entry["exchanges"] += float(exchanges)
+        entry["simulated_s"] += float(simulated_s)
+
+    return _throughput_record
 
 
 @pytest.fixture

@@ -12,9 +12,23 @@ recorded baseline (``benchmarks/bench-baseline.json``)::
     python scripts/bench.py --update-baseline
 
 ``BENCH_obs.json`` keeps every run (run number, mode, per-bench
-seconds, total), so performance can be tracked across commits instead
-of only gated against the latest baseline.  A pre-trajectory
-single-run document is migrated in place as run 1.
+seconds, per-run ``wall_seconds``), so performance can be tracked
+across commits instead of only gated against the latest baseline.  A
+pre-trajectory single-run document is migrated in place as run 1, and
+runs recorded under the old schema (``total_seconds`` on every run,
+including profile-mode runs whose wall time is not a suite total) are
+migrated to the ``wall_seconds`` schema on append.
+
+Benches that call the ``throughput`` fixture additionally record how
+much simulated work the measured seconds bought — protocol exchanges
+and simulated virtual time — and the trajectory stores the derived
+rates (``exchanges_per_s``, ``sim_hours_per_s``).  Those rates are
+gated against the trajectory itself: the median of the last runs *of
+the same mode* (smoke compares against smoke only — full-suite and
+profile runs never contaminate the baseline).  The comparison happens
+in the seconds domain (``exchanges / median_rate`` is the time this
+run's work should have taken) so the same tolerance + floor semantics
+as the baseline gate apply.
 
 Exit codes: 0 all benches within tolerance, 1 a bench regressed or the
 timing document could not be produced, 2 usage errors.
@@ -30,12 +44,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import subprocess
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.profile import migrate_trajectory_runs  # noqa: E402
 BENCH_DIR = REPO_ROOT / "benchmarks"
 DEFAULT_OUT = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_BASELINE = BENCH_DIR / "bench-baseline.json"
@@ -82,21 +100,55 @@ def _run_pytest(targets: List[str], out: Path) -> int:
     return proc.returncode
 
 
-def _load_document(path: Path) -> Dict[str, float]:
+def _load_document(
+    path: Path,
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, float]]]:
+    """(bench seconds, bench throughput inputs) from a run document."""
     with open(path) as f:
         document = json.load(f)
     if document.get("format") != BENCH_FORMAT:
         raise ValueError(f"{path} is not a {BENCH_FORMAT} document")
-    return {str(k): float(v) for k, v in document["benches"].items()}
+    benches = {str(k): float(v) for k, v in document["benches"].items()}
+    throughput = {
+        str(k): {
+            "exchanges": float(v["exchanges"]),
+            "simulated_s": float(v["simulated_s"]),
+        }
+        for k, v in document.get("throughput", {}).items()
+    }
+    return benches, throughput
+
+
+def _throughput_entry(
+    seconds: float, exchanges: float, simulated_s: float
+) -> Dict[str, float]:
+    """Denominate one bench's measured seconds in simulated work."""
+    rate = exchanges / seconds if seconds > 0 else 0.0
+    sim_hours = simulated_s / 3600.0
+    return {
+        "exchanges": exchanges,
+        "simulated_s": simulated_s,
+        "exchanges_per_s": round(rate, 3),
+        "sim_hours_per_s": round(
+            sim_hours / seconds if seconds > 0 else 0.0, 3
+        ),
+    }
 
 
 def _append_trajectory(
-    path: Path, measured: Dict[str, float], mode: str
-) -> int:
-    """Append one run to the cumulative trajectory; returns its number.
+    path: Path,
+    measured: Dict[str, float],
+    throughput: Dict[str, Dict[str, float]],
+    mode: str,
+) -> Tuple[int, List[Dict[str, object]]]:
+    """Append one run to the cumulative trajectory.
 
-    An existing pre-trajectory (single-run ``mntp-bench-v1``) document
-    at ``path`` is migrated in place as run 1.
+    Returns ``(run number, prior runs)`` — the priors feed the
+    throughput gate.  An existing pre-trajectory (single-run
+    ``mntp-bench-v1``) document at ``path`` is migrated in place as
+    run 1, and old-schema runs gain ``wall_seconds`` (profile runs
+    drop their misleading ``total_seconds``) via
+    :func:`repro.analysis.profile.migrate_trajectory_runs`.
     """
     runs: List[Dict[str, object]] = []
     if path.exists():
@@ -119,20 +171,91 @@ def _append_trajectory(
                     "benches": benches,
                     "total_seconds": round(sum(benches.values()), 3),
                 }]
+    runs = migrate_trajectory_runs(runs)
+    priors = list(runs)
     number = len(runs) + 1
-    runs.append({
+    total = round(sum(measured.values()), 3)
+    entry: Dict[str, object] = {
         "run": number,
         "mode": mode,
         "benches": {k: round(v, 3) for k, v in sorted(measured.items())},
-        "total_seconds": round(sum(measured.values()), 3),
-    })
+        "wall_seconds": total,
+        "total_seconds": total,
+    }
+    if throughput:
+        entry["throughput"] = {
+            name: _throughput_entry(
+                measured.get(name, 0.0),
+                inputs["exchanges"], inputs["simulated_s"],
+            )
+            for name, inputs in sorted(throughput.items())
+            if name in measured
+        }
+    runs.append(entry)
     with open(path, "w") as f:
         json.dump(
             {"format": TRAJECTORY_FORMAT, "runs": runs},
             f, indent=2, sort_keys=True,
         )
         f.write("\n")
-    return number
+    return number, priors
+
+
+#: Same-mode prior runs feeding each throughput baseline (median).
+THROUGHPUT_WINDOW = 5
+
+
+def _compare_throughput(
+    priors: List[Dict[str, object]],
+    measured: Dict[str, float],
+    throughput: Dict[str, Dict[str, float]],
+    mode: str,
+    tolerance: float,
+    floor: float,
+) -> List[str]:
+    """Throughput regression verdicts against same-mode trajectory runs.
+
+    For each bench with recorded throughput, the baseline rate is the
+    median ``exchanges_per_s`` over the last ``THROUGHPUT_WINDOW``
+    prior runs of the *same mode* (smoke-vs-smoke only; full and
+    profile runs never enter a smoke baseline).  The verdict happens
+    in the seconds domain: this run's exchange count divided by the
+    baseline rate is the time the work should have taken, and the
+    usual ``* (1 + tolerance) + floor`` slack applies.
+    """
+    failures: List[str] = []
+    for name, inputs in sorted(throughput.items()):
+        seconds = measured.get(name)
+        if seconds is None or seconds <= 0:
+            continue
+        rates = [
+            float(run["throughput"][name]["exchanges_per_s"])
+            for run in priors
+            if run.get("mode") == mode
+            and name in run.get("throughput", {})
+            and float(run["throughput"][name].get("exchanges_per_s", 0)) > 0
+        ][-THROUGHPUT_WINDOW:]
+        rate = inputs["exchanges"] / seconds
+        if not rates:
+            print(f"  {name}: {rate:,.0f} exch/s "
+                  "(no same-mode trajectory baseline — recorded new)")
+            continue
+        baseline_rate = statistics.median(rates)
+        baseline_sec = inputs["exchanges"] / baseline_rate
+        limit = baseline_sec * (1.0 + tolerance) + floor
+        verdict = "ok" if seconds <= limit else "REGRESSED"
+        print(f"  {name}: {rate:,.0f} exch/s vs median "
+              f"{baseline_rate:,.0f} exch/s over {len(rates)} {mode} "
+              f"run(s) (limit {limit:.2f}s for {inputs['exchanges']:,.0f} "
+              f"exchanges) {verdict}")
+        if seconds > limit:
+            failures.append(
+                f"{name}: {seconds:.2f}s for {inputs['exchanges']:,.0f} "
+                f"exchanges exceeds {limit:.2f}s "
+                f"({baseline_rate:,.0f} exch/s median of last "
+                f"{len(rates)} {mode} runs, +{tolerance:.0%} +{floor}s)"
+            )
+    return failures
 
 
 def _compare(
@@ -183,8 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 1
     try:
-        measured = _load_document(run_doc)
-    except (OSError, ValueError, KeyError) as exc:
+        measured, throughput = _load_document(run_doc)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"cannot read {run_doc}: {exc}", file=sys.stderr)
         return 1
     finally:
@@ -195,13 +318,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not measured:
         print("bench run recorded no timings", file=sys.stderr)
         return 1
-    number = _append_trajectory(
-        args.out, measured, "smoke" if args.smoke else "full"
-    )
+    mode = "smoke" if args.smoke else "full"
+    number, priors = _append_trajectory(args.out, measured, throughput, mode)
     print(f"run {number} appended to trajectory {args.out}")
 
     if args.update_baseline:
-        baseline = _load_document(args.baseline) if args.baseline.exists() else {}
+        baseline = (
+            _load_document(args.baseline)[0] if args.baseline.exists() else {}
+        )
         baseline.update(measured)
         with open(args.baseline, "w") as f:
             json.dump(
@@ -212,16 +336,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"baseline updated: {args.baseline}")
         return 0
 
+    failures: List[str] = []
+    if throughput:
+        print("throughput (trajectory, same-mode median):")
+        failures.extend(_compare_throughput(
+            priors, measured, throughput, mode, args.tolerance, args.floor,
+        ))
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; run with --update-baseline "
               "to record one")
-        return 0
-    try:
-        baseline = _load_document(args.baseline)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
-        return 1
-    failures = _compare(measured, baseline, args.tolerance, args.floor)
+    else:
+        try:
+            baseline = _load_document(args.baseline)[0]
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures.extend(
+            _compare(measured, baseline, args.tolerance, args.floor)
+        )
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

@@ -23,9 +23,10 @@ python -m repro.analysis tests --select DET001,DET002,DET003,DET004 --no-baselin
 
 echo "== repro-mntp lint (hot-path perf + parallel readiness, src)"
 # The tentpole gate: no unbaselined per-iteration cost in the sim hot
-# closure, no shared mutable state that would break a shard split.
+# closure, no shared mutable state that would break a shard split, and
+# no telemetry emission bypassing the ring-buffer sink in hot code.
 python -m repro.analysis src \
-    --select PERF001,PERF002,PERF003,PERF004,CONC001,CONC002,CONC003 \
+    --select PERF001,PERF002,PERF003,PERF004,CONC001,CONC002,CONC003,OBS003 \
     --no-baseline
 
 if python -m ruff --version >/dev/null 2>&1; then
@@ -48,9 +49,15 @@ if [[ "${1:-}" != "--fast" ]]; then
 
     echo "== bench harness (smoke)"
     # Appends a run to the BENCH_obs.json trajectory; fails if the
-    # timing document cannot be produced or any smoke bench regresses
-    # >25% against benchmarks/bench-baseline.json.
+    # timing document cannot be produced, any smoke bench regresses
+    # >25% against benchmarks/bench-baseline.json, or a bench's
+    # exchanges/sec falls below the same-mode trajectory median.
     python scripts/bench.py --smoke
+
+    echo "== telemetry overhead gate (instrumented <= 15% over bare)"
+    # min-of-3 interleaved instrumented/bare runs of the smoke
+    # scenario; fails if ring-buffered telemetry costs more than 15%.
+    python scripts/obs_overhead.py
 
     echo "== chaos gate (smoke fault matrix)"
     # Exit 1 if hardened MNTP fails to recover from any smoke-matrix

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Telemetry overhead gate: instrumented ≤ 15% over bare.
+
+Runs the profile smoke scenario (wireless + MNTP, 900 virtual seconds)
+with telemetry fully enabled (ring-buffered emission, metrics, spans)
+and with ``instrument=False`` (null facades), three times each, and
+compares the *minimum* wall time per variant — min-of-N is the
+standard noise-resistant estimator for short benchmarks (the minimum is
+the run least disturbed by the scheduler)::
+
+    python scripts/obs_overhead.py                 # gate at 1.15
+    python scripts/obs_overhead.py --ratio 1.25 --repeats 5
+
+Both variants must do identical virtual work (same SNTP sample count,
+failures, and MNTP reports); a mismatch means instrumentation perturbed
+the simulation and is an immediate failure regardless of timing.
+
+Exit codes: 0 within budget, 1 over budget or work mismatch, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SEED = 1
+DURATION_S = 900.0
+DEFAULT_RATIO = 1.15
+DEFAULT_REPEATS = 3
+
+
+def _run_once(instrument: bool) -> Tuple[Tuple[int, int, int], float]:
+    """((work triple), wall seconds) for one scenario run."""
+    from repro.core.config import MntpConfig
+    from repro.testbed.experiment import ExperimentRunner
+    from repro.testbed.nodes import TestbedOptions
+
+    runner = ExperimentRunner(
+        seed=SEED,
+        options=TestbedOptions(wireless=True, ntp_correction=True),
+        duration=DURATION_S,
+        mntp_config=MntpConfig.baseline_headtohead(),
+        instrument=instrument,
+    )
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    work = (len(result.sntp), result.sntp_failures, len(result.mntp_reports))
+    return work, wall
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ratio", type=float, default=DEFAULT_RATIO,
+                        help="maximum instrumented/bare wall-time ratio "
+                        f"(default {DEFAULT_RATIO})")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="runs per variant; min is compared "
+                        f"(default {DEFAULT_REPEATS})")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parse_args(argv)
+    if args.repeats < 1 or args.ratio <= 0:
+        print("--repeats must be >= 1 and --ratio > 0", file=sys.stderr)
+        return 2
+
+    bare_times: List[float] = []
+    inst_times: List[float] = []
+    bare_work = inst_work = None
+    for _ in range(args.repeats):
+        # Interleaved so thermal / frequency drift hits both variants.
+        bare_work, wall = _run_once(instrument=False)
+        bare_times.append(wall)
+        inst_work, wall = _run_once(instrument=True)
+        inst_times.append(wall)
+
+    if bare_work != inst_work:
+        print(f"FAIL work mismatch: bare {bare_work} vs instrumented "
+              f"{inst_work} — telemetry perturbed the simulation",
+              file=sys.stderr)
+        return 1
+
+    bare = min(bare_times)
+    inst = min(inst_times)
+    ratio = inst / bare if bare > 0 else float("inf")
+    print(f"bare          min {bare:.4f}s  "
+          f"(runs: {', '.join(f'{t:.4f}' for t in bare_times)})")
+    print(f"instrumented  min {inst:.4f}s  "
+          f"(runs: {', '.join(f'{t:.4f}' for t in inst_times)})")
+    print(f"overhead ratio {ratio:.3f} (budget {args.ratio})")
+    if ratio > args.ratio:
+        print(f"FAIL telemetry overhead {ratio:.3f} exceeds budget "
+              f"{args.ratio}", file=sys.stderr)
+        return 1
+    print("telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,14 @@ code, class attributes shared across instances, and process-global
 caches/counters all break the moment the event loop forks into worker
 processes.  The PR 3 datagram-counter bug was exactly the CONC003
 shape, found by hand; these rules find the next one mechanically.
+
+OBS003 polices the telemetry data plane itself: hot-closure code must
+emit through the ring-buffer sink (``telemetry.emit`` /
+``telemetry.count``), never by appending to the TraceLog or resolving a
+metric from the registry per event — those are exactly the per-event
+costs the ring batches away.  Like the PERF rules it only fires inside
+the hot closure; a direct ``trace.emit`` in a report formatter or a
+test helper is fine.
 """
 
 from __future__ import annotations
@@ -114,6 +122,59 @@ class AppendLoopRule(_HotSiteRule):
     kind = "append"
     label = "append-only loop filling {detail}"
     advice = "use a comprehension or a numpy batch operation"
+
+
+@register_project
+class DirectEmissionRule(ProjectRule):
+    """Flag telemetry emission bypassing the ring sink in hot code."""
+
+    rule_id = "OBS003"
+    summary = (
+        "no direct TraceLog append (trace.emit/trace.append) or "
+        "per-event registry resolution (metrics.counter/gauge/"
+        "histogram) in a hot-closure function; route emission through "
+        "the ring-buffer sink via telemetry.emit / telemetry.count"
+    )
+
+    #: Human label per obs-site kind recorded by the summarizer.
+    _LABELS = {
+        "emit": "direct TraceLog write {detail}",
+        "registry": "per-event metric registry resolution {detail}",
+    }
+
+    _ADVICE = {
+        "emit": (
+            "batch it through the ring sink: telemetry.emit(...) "
+            "stages the record and flushes in bulk"
+        ),
+        "registry": (
+            "hoist the instrument to __init__ or use "
+            "telemetry.count(name), which accumulates deltas in the "
+            "ring and applies them at flush"
+        ),
+    }
+
+    def run(self) -> List[Finding]:
+        """Every obs site inside every hot function, with witness chain."""
+        project = self.project
+        closure = hot_closure(project)
+        for full in sorted(closure):
+            entry = project.functions[full]
+            chain = closure[full]
+            root = project.functions[chain[0]]
+            for site in entry.info.obs_sites:
+                self.report(
+                    path=entry.module.path,
+                    lineno=site.lineno,
+                    col=site.col,
+                    message=(
+                        f"{self._LABELS[site.kind].format(detail=site.detail)}"
+                        f" in hot function '{entry.display}' "
+                        f"({chain_label(chain)}); {self._ADVICE[site.kind]}"
+                    ),
+                    endpoint=root.endpoint() if len(chain) > 1 else "",
+                )
+        return self.findings
 
 
 @register_project

@@ -286,6 +286,7 @@ class FunctionInfo:
     cache_decorator_lineno: Optional[int] = None  # functools.(lru_)cache
     perf_sites: List[PerfSite] = field(default_factory=list)
     mutations: List[MutationSite] = field(default_factory=list)
+    obs_sites: List[PerfSite] = field(default_factory=list)  # OBS003
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (cache record)."""
@@ -305,6 +306,7 @@ class FunctionInfo:
             "cache_decorator_lineno": self.cache_decorator_lineno,
             "perf_sites": [p.to_dict() for p in self.perf_sites],
             "mutations": [m.to_dict() for m in self.mutations],
+            "obs_sites": [p.to_dict() for p in self.obs_sites],
         }
 
     @classmethod
@@ -328,6 +330,9 @@ class FunctionInfo:
             ],
             mutations=[
                 MutationSite.from_dict(m) for m in data.get("mutations", [])
+            ],
+            obs_sites=[
+                PerfSite.from_dict(p) for p in data.get("obs_sites", [])
             ],
         )
 
@@ -529,6 +534,7 @@ class _Summarizer:
         scan = _BodyScan(node, class_name)
         info.perf_sites = scan.perf_sites
         info.mutations = scan.mutations
+        info.obs_sites = scan.obs_sites
         self.summary.functions.append(info)
 
     def _class(self, node: ast.ClassDef, module_fn: FunctionInfo) -> None:
@@ -917,6 +923,7 @@ class _BodyScan(ast.NodeVisitor):
         self.class_name = class_name
         self.perf_sites: List[PerfSite] = []
         self.mutations: List[MutationSite] = []
+        self.obs_sites: List[PerfSite] = []  # OBS003 raw material
         self._depth = 0
         self.bound, self.global_decls = _bound_names(node)
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
@@ -924,6 +931,7 @@ class _BodyScan(ast.NodeVisitor):
             self.visit(stmt)
         self.perf_sites.sort(key=lambda s: (s.lineno, s.col, s.kind))
         self.mutations.sort(key=lambda m: (m.lineno, m.col, m.name))
+        self.obs_sites.sort(key=lambda s: (s.lineno, s.col, s.kind))
 
     # -- structure ---------------------------------------------------------
 
@@ -1048,7 +1056,43 @@ class _BodyScan(ast.NodeVisitor):
             and node.args[0].id not in self.bound
         ):
             self._mutation("global", node.args[0].id, "next", node)
+        self._obs_site(node, func)
         self.generic_visit(node)
+
+    def _obs_site(self, node: ast.Call, func: ast.AST) -> None:
+        """Record direct telemetry emission (OBS003 raw material).
+
+        A call whose attribute chain ends ``<trace|_trace>.<emit|append>``
+        writes straight into the TraceLog; one ending
+        ``<metrics|_metrics>.<counter|gauge|histogram>`` does a per-event
+        registry lookup.  Both bypass the ring-buffer sink, which the
+        sanctioned ``telemetry.emit`` / ``telemetry.count`` facade routes
+        through.  Sites are recorded unconditionally; the OBS003 rule
+        only surfaces them when the function sits in a hot closure.
+        """
+        chain = _attr_chain(func)
+        if chain is None:
+            return
+        parts = chain.split(".")
+        if len(parts) < 2:
+            return
+        recv, meth = parts[-2], parts[-1]
+        if recv in ("trace", "_trace") and meth in ("emit", "append"):
+            self.obs_sites.append(
+                PerfSite(
+                    kind="emit", lineno=node.lineno,
+                    col=node.col_offset + 1, detail=f"'{chain}'",
+                )
+            )
+        elif recv in ("metrics", "_metrics") and meth in (
+            "counter", "gauge", "histogram"
+        ):
+            self.obs_sites.append(
+                PerfSite(
+                    kind="registry", lineno=node.lineno,
+                    col=node.col_offset + 1, detail=f"'{chain}'",
+                )
+            )
 
     # -- stores ------------------------------------------------------------
 

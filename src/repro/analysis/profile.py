@@ -188,6 +188,34 @@ def load_profile(path: Path) -> ProfileData:
     return ProfileData(document)
 
 
+def migrate_trajectory_runs(
+    runs: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Normalise trajectory runs to the wall-seconds schema, in place.
+
+    Early trajectories recorded every run's wall clock as
+    ``total_seconds`` — including profile-mode runs, whose single
+    scenario wall time is not a bench-suite total and polluted any
+    consumer summing or comparing totals across the trajectory.  The
+    current schema stores each run's own wall clock as
+    ``wall_seconds`` and reserves ``total_seconds`` for bench-suite
+    runs (sum over benches).  Old entries are migrated on every
+    append: ``wall_seconds`` is backfilled from ``total_seconds`` (or
+    the bench sum) and profile runs drop ``total_seconds``.
+    """
+    for run in runs:
+        if "wall_seconds" not in run:
+            total = run.get("total_seconds")
+            if total is None:
+                total = round(
+                    sum(float(v) for v in run.get("benches", {}).values()), 3
+                )
+            run["wall_seconds"] = total
+        if run.get("mode") == "profile":
+            run.pop("total_seconds", None)
+    return runs
+
+
 def append_trajectory(
     path: Path, document: Dict[str, Any], wall_s: float
 ) -> Optional[int]:
@@ -209,7 +237,7 @@ def append_trajectory(
             or existing.get("format") != _TRAJECTORY_FORMAT
         ):
             return None
-        runs = list(existing.get("runs", []))
+        runs = migrate_trajectory_runs(list(existing.get("runs", [])))
     ranked = sorted(
         document["functions"],
         key=lambda r: (-r["cumtime_s"], r["path"], r["name"]),
@@ -219,7 +247,7 @@ def append_trajectory(
         "run": number,
         "mode": "profile",
         "benches": {},
-        "total_seconds": round(wall_s, 3),
+        "wall_seconds": round(wall_s, 3),
         "profile": {
             "scenario": document["scenario"],
             "seed": document["seed"],

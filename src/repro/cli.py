@@ -14,6 +14,8 @@ Exposes the main experiment flows without writing code::
     repro-mntp trace run.json                # inspect archived telemetry
     repro-mntp explain run.json --worst 5    # root-cause offset errors
     repro-mntp metrics run.json              # Prometheus-format metrics
+    repro-mntp metrics --merge a.json b.json # merge shard telemetry
+    repro-mntp sharddemo --shards 4          # process-pool shard demo
     repro-mntp chaos --smoke                 # fault-matrix survival run
     repro-mntp lint src                      # domain static analysis
     repro-mntp profile --smoke               # hot-path profile artifact
@@ -65,6 +67,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="export the run's telemetry as JSONL")
     run.add_argument("--json", action="store_true",
                      help="print the summary as JSON instead of tables")
+    run.add_argument("--sample-rate", dest="sample_rate", type=int,
+                     default=None, metavar="N",
+                     help="keep 1-in-N trace exchanges (deterministic "
+                     "keyed sampling; errors/drops/fault windows always "
+                     "kept)")
+    run.add_argument("--ring-capacity", dest="ring_capacity", type=int,
+                     default=None, metavar="SLOTS",
+                     help="telemetry ring-buffer slots before a batch "
+                     "flush (default 1024)")
 
     replay = sub.add_parser("replay", help="summarise an archived run")
     replay.add_argument("path", help="JSON file written by 'run --save'")
@@ -84,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--kind", help="show only this record kind")
     trace.add_argument("--limit", type=int, default=20,
                        help="max records to print (default 20)")
+    trace.add_argument("--sample-rate", dest="sample_rate", type=int,
+                       default=None, metavar="N",
+                       help="downsample the archived records to 1-in-N "
+                       "exchanges before display/export (same "
+                       "deterministic rules as 'run --sample-rate')")
 
     explain = sub.add_parser(
         "explain",
@@ -107,6 +123,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "path", nargs="?", default=None,
         help="archived run (default: simulate mntp_wireless_corrected)",
     )
+    metrics.add_argument(
+        "--merge", nargs="+", metavar="SHARD", default=None,
+        help="merge telemetry shard envelopes / snapshots (order of the "
+        "arguments does not affect the result) and print the merged "
+        "metrics instead",
+    )
+    metrics.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="with --merge: also write the canonical merged telemetry "
+        "as JSONL (byte-identical for any shard order)",
+    )
+
+    sharddemo = sub.add_parser(
+        "sharddemo",
+        help="run N independent experiment shards across a process pool "
+        "and merge their telemetry (the scale-out demo)",
+    )
+    sharddemo.add_argument("--shards", type=int, default=2,
+                           help="number of shard processes (default 2)")
+    sharddemo.add_argument("--exchanges", type=int, default=400,
+                           help="total SNTP exchanges across all shards "
+                           "(default 400)")
+    sharddemo.add_argument("--sample-rate", dest="sample_rate", type=int,
+                           default=None, metavar="N",
+                           help="per-shard 1-in-N trace sampling")
+    sharddemo.add_argument("--ring-capacity", dest="ring_capacity",
+                           type=int, default=None, metavar="SLOTS",
+                           help="per-shard telemetry ring-buffer size")
+    sharddemo.add_argument("--wireless", action="store_true",
+                           help="use the wireless channel model")
+    sharddemo.add_argument("--serial", action="store_true",
+                           help="run shards in-process (no pool)")
+    sharddemo.add_argument("--jobs", type=int, default=None,
+                           help="pool worker count (default: cpu count)")
+    sharddemo.add_argument("--out-dir", dest="out_dir", metavar="DIR",
+                           default=None,
+                           help="write each shard envelope plus the "
+                           "merged JSONL into this directory")
 
     logstudy = sub.add_parser("logstudy", help="the §3.1 server-log study")
     logstudy.add_argument(
@@ -238,6 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_explain(args)
     if command == "metrics":
         return _cmd_metrics(args)
+    if command == "sharddemo":
+        return _cmd_sharddemo(args)
     if command == "logstudy":
         return _cmd_logstudy(args)
     if command == "cellular":
@@ -269,7 +325,16 @@ def _cmd_scenarios() -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_scenario(args.scenario, seed=args.seed)
+    try:
+        result = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            sample_rate=getattr(args, "sample_rate", None),
+            ring_capacity=getattr(args, "ring_capacity", None),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if getattr(args, "save", None):
         from repro.testbed.persistence import save_result
 
@@ -384,6 +449,23 @@ def _cmd_trace(args) -> int:
     if snapshot is None:
         return 2
     records = snapshot.get("records", [])
+    rate = getattr(args, "sample_rate", None)
+    if rate is not None:
+        from repro.obs import TraceSampler
+
+        try:
+            sampler = TraceSampler(rate)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        records = [
+            r for r in records
+            if sampler.keep_record(r.get("kind", ""), r.get("data", {}))
+        ]
+        snapshot = dict(snapshot)
+        snapshot["records"] = records
+        print(f"sampled 1-in-{sampler.rate}: kept {sampler.kept}, "
+              f"dropped {sampler.dropped}")
     if getattr(args, "chrome", None):
         with open(args.chrome, "w") as f:
             n = write_chrome_trace(snapshot, f)
@@ -477,6 +559,15 @@ def _cmd_explain(args) -> int:
 def _cmd_metrics(args) -> int:
     from repro.obs import render_prometheus
 
+    if getattr(args, "merge", None):
+        if args.path is not None:
+            print("give either a run path or --merge, not both",
+                  file=sys.stderr)
+            return 2
+        return _merge_shard_files(args.merge, args.out)
+    if getattr(args, "out", None):
+        print("--out only applies with --merge", file=sys.stderr)
+        return 2
     if args.path is not None:
         snapshot = _load_archived_telemetry(args.path)
         if snapshot is None:
@@ -485,6 +576,92 @@ def _cmd_metrics(args) -> int:
         result = run_scenario("mntp_wireless_corrected", seed=args.seed)
         snapshot = result.telemetry
     sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
+def _merge_shard_files(paths: List[str], out: Optional[str]) -> int:
+    """Merge shard envelope/snapshot files; print Prometheus metrics.
+
+    With ``out`` also streams the canonical merged JSONL there — the
+    bytes are identical for any permutation of ``paths``.
+    """
+    from repro.obs import merge_documents, render_prometheus, write_merged_jsonl
+
+    documents = []
+    for path in paths:
+        try:
+            with open(path) as f:
+                documents.append(json.load(f))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        merged = merge_documents(documents)
+        if out:
+            with open(out, "w") as f:
+                lines = write_merged_jsonl(documents, f)
+            print(f"merged telemetry ({lines} lines) written to {out}",
+                  file=sys.stderr)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    sys.stdout.write(render_prometheus(merged))
+    return 0
+
+
+def _cmd_sharddemo(args) -> int:
+    from repro.obs import merge_documents, run_demo_shards, write_merged_jsonl
+
+    if args.shards < 1 or args.exchanges < args.shards:
+        print("need --shards >= 1 and --exchanges >= --shards",
+              file=sys.stderr)
+        return 2
+    per_shard = args.exchanges // args.shards
+    try:
+        envelopes = run_demo_shards(
+            shards=args.shards,
+            exchanges_per_shard=per_shard,
+            seed=args.seed,
+            sample_rate=args.sample_rate,
+            ring_capacity=args.ring_capacity,
+            wireless=args.wireless,
+            jobs=args.jobs,
+            serial=args.serial,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = [
+        [e["shard"], e["meta"]["seed"], f"{e['meta']['duration_s']:.0f}",
+         e["meta"]["exchanges"], e["meta"]["records"]]
+        for e in envelopes
+    ]
+    print(render_table(
+        ["shard", "seed", "sim (s)", "exchanges", "records"], rows,
+    ))
+    merged = merge_documents(envelopes)
+    exchanges = sum(e["meta"]["exchanges"] for e in envelopes)
+    print(f"merged: {len(envelopes)} shards, {exchanges} exchanges, "
+          f"{len(merged['records'])} records, "
+          f"{len(merged['metrics'])} metric series")
+    sampling = merged.get("sampling")
+    if sampling is not None:
+        print(f"sampling 1-in-{sampling['rate']}: kept {sampling['kept']}, "
+              f"dropped {sampling['dropped']}")
+    if getattr(args, "out_dir", None):
+        import os
+
+        os.makedirs(args.out_dir, exist_ok=True)
+        for envelope in envelopes:
+            path = os.path.join(args.out_dir, f"{envelope['shard']}.json")
+            with open(path, "w") as f:
+                json.dump(envelope, f, sort_keys=True, indent=2)
+                f.write("\n")
+        merged_path = os.path.join(args.out_dir, "merged.jsonl")
+        with open(merged_path, "w") as f:
+            lines = write_merged_jsonl(envelopes, f)
+        print(f"wrote {len(envelopes)} shard envelopes and "
+              f"{merged_path} ({lines} lines) under {args.out_dir}")
     return 0
 
 

@@ -177,6 +177,11 @@ class Mntp:
             "absolute filter residual of each offered offset",
             buckets=_RESIDUAL_MS_BUCKETS,
         )
+        # Precomputed per-event counter names: _emit runs inside the
+        # hot closure, where an f-string per event is real cost.
+        self._counter_names = {
+            kind: f"mntp_{kind.value}_total" for kind in MntpEventKind
+        }
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -192,8 +197,9 @@ class Mntp:
         self._close_phase_span()
 
     def _emit(self, kind: MntpEventKind, **data) -> None:
-        self._sim.trace.emit(self._sim.now, "mntp", kind.value, **data)
-        self._sim.telemetry.metrics.counter(f"mntp_{kind.value}_total").inc()
+        telemetry = self._sim.telemetry
+        telemetry.emit(self._sim.now, "mntp", kind.value, **data)
+        telemetry.count(self._counter_names[kind])
 
     def _open_phase_span(self, name: str, **attrs) -> None:
         self._close_phase_span()
@@ -423,7 +429,12 @@ class Mntp:
         residual = None
         if outcome is not None and outcome.predicted == outcome.predicted:  # not NaN
             residual = uncorrected - outcome.predicted
-            self._residual_hist.observe(abs(residual) * 1000.0)
+            abs_residual_ms = abs(residual) * 1000.0
+            self._residual_hist.observe(abs_residual_ms)
+            if self._sim.telemetry.sampler is not None:
+                self._sim.telemetry.observe_exemplar(
+                    "mntp_abs_residual_ms", abs_residual_ms, ref=f"t={now:.3f}"
+                )
         report = MntpReport(
             time=now, offset=offset, accepted=accepted, phase=self.phase,
             residual=residual,

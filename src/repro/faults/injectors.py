@@ -92,6 +92,12 @@ class FaultInjector:
 
         def begin() -> None:
             self._episodes_started.inc()
+            sampler = self._sim.telemetry.sampler
+            if sampler is not None:
+                # Fault windows always keep their causal trees: the
+                # sampler suspends 1-in-N dropping until the episode
+                # (and any overlapping ones) ends.
+                sampler.fault_begin()
             state["span"] = self._sim.telemetry.spans.begin(
                 "fault.episode",
                 fault=episode.kind.value,
@@ -106,6 +112,9 @@ class FaultInjector:
             span = state["span"]
             if span is not None:
                 span.end()
+            sampler = self._sim.telemetry.sampler
+            if sampler is not None:
+                sampler.fault_end()
 
         self._sim.call_at(episode.start, begin, label="fault:begin")
         self._sim.call_at(episode.end, end, label="fault:end")
@@ -233,7 +242,7 @@ class FaultInjector:
         attributable drop) instead of losing completeness.
         """
         self._packets_dropped.inc()
-        self._sim.trace.emit(
+        self._sim.telemetry.emit(
             self._sim.now, f"node:{name}", "drop",
             cause="suspend", trace_id=trace_id, ident=ident,
         )

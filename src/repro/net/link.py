@@ -87,7 +87,7 @@ class Link:
         if sample.lost or effect.lost:
             datagram.dropped = True
             self.lost += 1
-            self._sim.trace.emit(
+            self._sim.telemetry.emit(
                 self._sim.now, self.name, "drop", ident=datagram.ident,
                 dst=datagram.dst, trace_id=datagram.trace_id,
             )

@@ -141,6 +141,9 @@ class NtpServer:
         self.config = config
         self.send_reply = send_reply
         self._rng = sim.rng.stream(f"server:{config.name}")
+        # Trace component name, precomputed: on_datagram is a hot root
+        # and an f-string per ignored packet is per-event cost.
+        self._component = f"server:{config.name}"
         #: Transient fault flags, mutated by the fault injector at
         #: episode boundaries (all-zero in benign runs).
         self.faults = ServerFaultState()
@@ -165,16 +168,16 @@ class NtpServer:
         """Receive-side entry point: parse, then schedule the reply."""
         self.requests_seen += 1
         if self.faults.dead:
-            self._sim.trace.emit(
-                self._sim.now, f"server:{self.config.name}", "ignored",
+            self._sim.telemetry.emit(
+                self._sim.now, self._component, "ignored",
                 cause="server_death", ident=datagram.ident,
                 trace_id=datagram.trace_id,
             )
             return
         if self.config.persona is ServerPersona.UNRESPONSIVE:
             if self._rng.random() < self.config.drop_rate:
-                self._sim.trace.emit(
-                    self._sim.now, f"server:{self.config.name}", "ignored",
+                self._sim.telemetry.emit(
+                    self._sim.now, self._component, "ignored",
                     ident=datagram.ident, trace_id=datagram.trace_id,
                 )
                 return

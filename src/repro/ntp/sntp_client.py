@@ -23,6 +23,15 @@ from repro.obs.spans import Span
 from repro.simcore.events import Event
 from repro.simcore.simulator import Simulator
 
+# Hardening counter names, hoisted: the call sites run per query inside
+# the hot closure and batch their increments through the telemetry ring
+# (the counters are still created lazily, so a plain client's snapshot
+# keeps the exact baseline metric-name set).
+_BACKED_OFF_TOTAL = "sntp_backed_off_queries_total"
+_FAILOVERS_TOTAL = "sntp_failovers_total"
+_INVALID_TOTAL = "sntp_invalid_responses_total"
+_EVICTIONS_TOTAL = "sntp_pending_evictions_total"
+
 
 @dataclass
 class SntpResult:
@@ -298,11 +307,7 @@ class SntpClient:
             chosen = self._select_server(server_name)
             if chosen is None:
                 self.backed_off_queries += 1
-                self._sim.telemetry.metrics.counter(
-                    "sntp_backed_off_queries_total",
-                    "queries failed locally because every server was "
-                    "under a backoff or KoD window",
-                ).inc()
+                self._sim.telemetry.count(_BACKED_OFF_TOTAL)
                 self._sim.call_after(
                     0.0,
                     lambda: callback(SntpResult(
@@ -314,10 +319,7 @@ class SntpClient:
                 return
             if chosen != server_name:
                 self.failovers += 1
-                self._sim.telemetry.metrics.counter(
-                    "sntp_failovers_total",
-                    "queries rerouted to a healthier server",
-                ).inc()
+                self._sim.telemetry.count(_FAILOVERS_TOTAL)
             server_name = chosen
             inner_callback = callback
 
@@ -425,10 +427,7 @@ class SntpClient:
             # guard sample_from_exchange would raise out of the event
             # loop and crash the run.
             self.invalid_received += 1
-            self._sim.telemetry.metrics.counter(
-                "sntp_invalid_responses_total",
-                "responses discarded by RFC 4330 sanity validation",
-            ).inc()
+            self._sim.telemetry.count(_INVALID_TOTAL)
             pending.span.end(outcome="invalid", server=datagram.src)
             pending.callback(
                 SntpResult(sample=None, server_name=datagram.src, invalid=True)
@@ -471,10 +470,7 @@ class SntpClient:
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
         self.pending_evictions += 1
-        self._sim.telemetry.metrics.counter(
-            "sntp_pending_evictions_total",
-            "in-flight queries failed early to bound the pending table",
-        ).inc()
+        self._sim.telemetry.count(_EVICTIONS_TOTAL)
         pending.span.end(outcome="evicted")
         pending.callback(
             SntpResult(sample=None, server_name=pending.server_name, timed_out=True)
@@ -582,7 +578,7 @@ class AndroidSntpDaemon:
                 if abs(offset) > self.policy.update_threshold:
                     self.client.clock.step(offset)
                     self.updates_applied += 1
-                    self._sim.trace.emit(
+                    self._sim.telemetry.emit(
                         self._sim.now, "android", "step", offset=offset
                     )
                 self._schedule_next()

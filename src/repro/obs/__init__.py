@@ -8,11 +8,28 @@ for CLI/bench layers.  See ``docs/OBSERVABILITY.md`` for the metric
 naming scheme, the span taxonomy, and the exporter formats.
 """
 
+from repro.obs.merge import (
+    SHARD_FORMAT,
+    content_id,
+    iter_merged_records,
+    make_shard,
+    merge_documents,
+    run_demo_shards,
+    write_merged_jsonl,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.ringbuf import DEFAULT_RING_CAPACITY, RingBufferSink
+from repro.obs.sampling import (
+    DEFAULT_EXEMPLARS,
+    ERROR_KINDS,
+    Reservoir,
+    TraceSampler,
+    stable_hash,
 )
 from repro.obs.spans import SPAN_COMPONENT, Span, SpanTracer
 from repro.obs.telemetry import (
@@ -30,6 +47,7 @@ from repro.obs.exporters import (
     jsonl_lines,
     load_jsonl,
     render_prometheus,
+    stream_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
@@ -62,12 +80,27 @@ from repro.obs.explain import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_EXEMPLARS",
+    "DEFAULT_RING_CAPACITY",
+    "ERROR_KINDS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Reservoir",
+    "RingBufferSink",
+    "SHARD_FORMAT",
     "SPAN_COMPONENT",
     "Span",
     "SpanTracer",
+    "TraceSampler",
+    "content_id",
+    "iter_merged_records",
+    "make_shard",
+    "merge_documents",
+    "run_demo_shards",
+    "stable_hash",
+    "stream_jsonl",
+    "write_merged_jsonl",
     "TELEMETRY_FORMAT",
     "ManualClock",
     "Telemetry",

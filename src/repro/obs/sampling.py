@@ -1,0 +1,170 @@
+"""Deterministic trace sampling and reservoir exemplars.
+
+Population-scale runs cannot retain every exchange's causal tree, but
+they must stay byte-deterministic per seed and keep the error evidence
+that :mod:`repro.obs.causal`/:mod:`repro.obs.explain` feed on.  The
+sampler therefore makes every keep/drop decision from stable inputs
+only — never from :func:`hash` (salted per process) or wall-clock
+state:
+
+* An exchange is *kept* when the CRC-32 of its ``trace_id`` selects it
+  (1-in-N).  All records of a kept exchange share the trace id, so its
+  whole causal tree survives and ``explain`` works unchanged on it.
+* Error evidence always survives: ``drop``/``ignored`` records and
+  spans whose ``outcome`` is anything but ``"ok"`` are kept regardless
+  of the hash, so failures remain attributable at any sampling rate.
+* While a fault episode is active (:meth:`TraceSampler.fault_begin` /
+  :meth:`TraceSampler.fault_end`, driven by the fault injector) every
+  record is kept — fault windows are precisely when full causal
+  context is worth the memory.
+* Records without a ``trace_id`` (protocol decisions, phase spans,
+  interference episodes) are never sampled out; they are few and they
+  anchor the run-level narrative.
+
+:class:`Reservoir` keeps a bounded, deterministic sample of histogram
+observations ("exemplars").  Entries are ranked by a stable hash key
+and the snapshot is emitted in canonical key order, so merging shard
+reservoirs (see :mod:`repro.obs.merge`) is a sort-and-truncate that is
+order-independent and reduces to the identity for a single shard.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "DEFAULT_EXEMPLARS",
+    "ERROR_KINDS",
+    "Reservoir",
+    "TraceSampler",
+    "stable_hash",
+]
+
+#: Default per-histogram exemplar reservoir capacity.
+DEFAULT_EXEMPLARS = 10
+
+#: Record kinds that are always kept (error evidence).
+ERROR_KINDS = frozenset({"drop", "ignored"})
+
+
+def stable_hash(text: str) -> int:
+    """Process- and run-independent 32-bit hash (CRC-32 of UTF-8)."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class Reservoir:
+    """Bounded deterministic sample of (value, ref) observations.
+
+    Each observation gets a stable key hashed from its arrival index,
+    value and reference; the reservoir retains the ``capacity`` entries
+    with the smallest keys.  Keys are stored in the snapshot so shard
+    merges can re-rank the union without re-seeing the stream.
+    """
+
+    __slots__ = ("capacity", "seen", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_EXEMPLARS) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._entries: List[Tuple[int, float, str]] = []
+
+    def observe(self, value: float, ref: str = "") -> None:
+        """Offer one observation to the reservoir."""
+        self.seen += 1
+        key = stable_hash(f"{self.seen}:{value!r}:{ref}")
+        entry = (key, float(value), str(ref))
+        if len(self._entries) < self.capacity:
+            self._entries.append(entry)
+            self._entries.sort()
+        elif entry < self._entries[-1]:
+            self._entries[-1] = entry
+            self._entries.sort()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical (key-sorted) JSON form of the reservoir."""
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "entries": [
+                {"key": k, "value": v, "ref": r} for k, v, r in self._entries
+            ],
+        }
+
+
+class TraceSampler:
+    """Deterministic 1-in-N exchange sampler with always-keep rules.
+
+    Args:
+        rate: Keep roughly one in ``rate`` exchanges (``1`` keeps all).
+        exemplar_capacity: Capacity of each histogram's exemplar
+            reservoir.
+    """
+
+    def __init__(
+        self, rate: int, exemplar_capacity: int = DEFAULT_EXEMPLARS
+    ) -> None:
+        if rate < 1:
+            raise ValueError("sample rate must be >= 1")
+        self.rate = int(rate)
+        self.exemplar_capacity = int(exemplar_capacity)
+        self.fault_depth = 0
+        self.kept = 0
+        self.dropped = 0
+        self._exemplars: Dict[str, Reservoir] = {}
+
+    # -- keep/drop decisions ----------------------------------------------
+
+    def keep_trace(self, trace_id: str) -> bool:
+        """Whether the hash selects this exchange's causal tree."""
+        return stable_hash(trace_id) % self.rate == 0
+
+    def keep_record(self, kind: str, data: Dict[str, Any]) -> bool:
+        """Decide one record's fate; counts the decision either way."""
+        trace_id = data.get("trace_id")
+        if trace_id is None:
+            keep = True
+        elif self.rate <= 1 or self.fault_depth > 0:
+            keep = True
+        elif kind in ERROR_KINDS:
+            keep = True
+        else:
+            outcome = data.get("outcome")
+            keep = (
+                outcome is not None and outcome != "ok"
+            ) or self.keep_trace(str(trace_id))
+        if keep:
+            self.kept += 1
+        else:
+            self.dropped += 1
+        return keep
+
+    # -- fault-overlap window ---------------------------------------------
+
+    def fault_begin(self) -> None:
+        """Enter a fault window: keep everything until it closes."""
+        self.fault_depth += 1
+
+    def fault_end(self) -> None:
+        """Leave one (possibly nested) fault window."""
+        if self.fault_depth > 0:
+            self.fault_depth -= 1
+
+    # -- histogram exemplars ----------------------------------------------
+
+    def observe_exemplar(self, name: str, value: float, ref: str = "") -> None:
+        """Offer one histogram observation as an exemplar candidate."""
+        reservoir = self._exemplars.get(name)
+        if reservoir is None:
+            reservoir = Reservoir(self.exemplar_capacity)
+            self._exemplars[name] = reservoir
+        reservoir.observe(value, ref)
+
+    def exemplars_snapshot(self) -> Dict[str, Any]:
+        """Canonical JSON form of every exemplar reservoir, name-sorted."""
+        return {
+            name: self._exemplars[name].snapshot()
+            for name in sorted(self._exemplars)
+        }

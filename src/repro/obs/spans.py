@@ -23,7 +23,7 @@ flight); :meth:`SpanTracer.end_all` closes stragglers at shutdown.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.simcore.trace import TraceLog, TraceRecord
 
@@ -80,39 +80,59 @@ class SpanTracer:
         trace: Destination log (shared with the simulation components).
         now_fn: Callable returning the current time on the span axis —
             virtual seconds inside a simulator, a manual tick outside.
+        sink: Optional ring-buffer sink; when set, finished spans are
+            staged there (batched, sampled) instead of appended to the
+            log one by one, and :meth:`Span.end` returns ``None``.
     """
 
-    def __init__(self, trace: TraceLog, now_fn: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        trace: TraceLog,
+        now_fn: Callable[[], float],
+        sink: Optional[Any] = None,
+    ) -> None:
         self.trace = trace
         self._now_fn = now_fn
-        self._open: List[Span] = []
+        self._sink = sink
+        # Keyed by id() for O(1) removal on finish; insertion-ordered,
+        # so end_all still closes stragglers oldest-first.
+        self._open: Dict[int, Span] = {}
 
     def begin(self, name: str, t: Optional[float] = None, **attrs: Any) -> Span:
         """Open a span named ``name`` at time ``t`` (default: now)."""
-        t0 = float(self._now_fn()) if t is None else float(t)
-        span = Span(self, name, t0, dict(attrs))
-        self._open.append(span)
+        t0 = self._now_fn() if t is None else float(t)
+        span = Span(self, name, t0, attrs)
+        self._open[id(span)] = span
         return span
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a span for use as a context manager."""
         return self.begin(name, **attrs)
 
-    def _finish(self, span: Span, t: Optional[float], attrs: dict) -> TraceRecord:
-        t1 = float(self._now_fn()) if t is None else float(t)
-        span.t1 = max(t1, span.t0)
-        span.attrs.update(attrs)
-        try:
-            self._open.remove(span)
-        except ValueError:  # pragma: no cover - double-bookkeeping guard
-            pass
-        return self.trace.emit(
-            span.t0,
+    def _finish(
+        self, span: Span, t: Optional[float], attrs: dict
+    ) -> Optional[TraceRecord]:
+        t0 = span.t0
+        t1 = self._now_fn() if t is None else float(t)
+        if t1 < t0:
+            t1 = t0
+        span.t1 = t1
+        if attrs:
+            span.attrs.update(attrs)
+        self._open.pop(id(span), None)
+        if self._sink is not None:
+            data = {"t0": t0, "t1": t1, "dur": t1 - t0}
+            if span.attrs:
+                data.update(span.attrs)
+            self._sink.emit(t0, SPAN_COMPONENT, span.name, data)
+            return None
+        return self.trace.emit(  # repro: noqa[OBS003]
+            t0,
             SPAN_COMPONENT,
             span.name,
-            t0=span.t0,
-            t1=span.t1,
-            dur=span.t1 - span.t0,
+            t0=t0,
+            t1=t1,
+            dur=t1 - t0,
             **span.attrs,
         )
 
@@ -124,7 +144,7 @@ class SpanTracer:
     def end_all(self, t: Optional[float] = None) -> int:
         """Close every open span (shutdown path); returns how many."""
         closed = 0
-        for span in list(self._open):
+        for span in list(self._open.values()):
             span.end(t=t)
             closed += 1
         return closed

@@ -14,9 +14,11 @@ for persistence and the exporters (:mod:`repro.obs.exporters`).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.ringbuf import DEFAULT_RING_CAPACITY, RingBufferSink
+from repro.obs.sampling import TraceSampler
 from repro.obs.spans import SpanTracer
 from repro.simcore.trace import TraceLog, TraceRecord
 
@@ -68,6 +70,127 @@ def record_from_dict(data: Dict[str, Any]) -> TraceRecord:
     )
 
 
+class _NullInstrument:
+    """No-op stand-in for Counter/Gauge/Histogram in a disabled bundle."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard a counter increment."""
+
+    def set(self, value: float) -> None:
+        """Discard a gauge write."""
+
+    def add(self, amount: float) -> None:
+        """Discard a gauge delta."""
+
+    def observe(self, value: float) -> None:
+        """Discard a histogram observation."""
+
+
+class _NullMetricsRegistry:
+    """Registry facade that records nothing (``instrument=False`` runs)."""
+
+    __slots__ = ("_null",)
+
+    def __init__(self) -> None:
+        self._null = _NullInstrument()
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._null
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._null
+
+    def histogram(self, name: str, help: str = "", buckets: Any = None) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._null
+
+    def get(self, name: str) -> None:
+        """Nothing is ever registered."""
+        return None
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Every read sees the default."""
+        return default
+
+    def names(self) -> List[str]:
+        """Nothing is ever registered."""
+        return []
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Nothing to freeze."""
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+class _NullSpan:
+    """Always-closed span returned by a disabled tracer."""
+
+    __slots__ = ()
+    open = False
+
+    def end(self, t: Optional[float] = None, **attrs: Any) -> None:
+        """Nothing to close."""
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NullSpanTracer:
+    """Span tracer facade that opens nothing (``instrument=False``)."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self) -> None:
+        self._span = _NullSpan()
+
+    def begin(self, name: str, t: Optional[float] = None, **attrs: Any) -> _NullSpan:
+        """Return the shared closed span."""
+        return self._span
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """Return the shared closed span."""
+        return self._span
+
+    @property
+    def open_count(self) -> int:
+        """Never any open spans."""
+        return 0
+
+    def end_all(self, t: Optional[float] = None) -> int:
+        """Never any stragglers."""
+        return 0
+
+
+class _NullRing:
+    """Sink facade staging nothing (``instrument=False`` runs)."""
+
+    __slots__ = ()
+    pending = False
+
+    def emit(self, t: float, component: str, kind: str, data: Dict[str, Any]) -> None:
+        """Discard a record."""
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Discard a delta."""
+
+    def flush(self) -> int:
+        """Nothing staged."""
+        return 0
+
+
 class Telemetry:
     """Metrics registry + span tracer + trace log for one run.
 
@@ -76,18 +199,52 @@ class Telemetry:
         trace: Existing log to share (the simulator passes its own so
             span records land next to component events); a fresh log is
             created when omitted.
+        ring_capacity: When set, a :class:`RingBufferSink` of this many
+            slots becomes the bundle's emission path (the simulator
+            always passes one; standalone bundles stay direct so their
+            snapshots carry no self-metering counters).
+        sample_rate: Keep roughly 1-in-N exchanges (needs a ring; see
+            :mod:`repro.obs.sampling` for the always-keep rules).
+        enabled: ``False`` swaps in no-op metrics/spans/ring so an
+            uninstrumented run measures the bare simulator cost.
     """
 
     def __init__(
         self,
         now_fn: Callable[[], float],
         trace: Optional[TraceLog] = None,
+        ring_capacity: Optional[int] = None,
+        sample_rate: Optional[int] = None,
+        enabled: bool = True,
     ) -> None:
         self.trace = trace if trace is not None else TraceLog()
-        self.metrics = MetricsRegistry()
-        self.spans = SpanTracer(self.trace, now_fn)
         self._now_fn = now_fn
         self._clock: Optional[ManualClock] = None
+        self.enabled = bool(enabled)
+        if not self.enabled:
+            self.metrics: Any = _NullMetricsRegistry()
+            self.spans: Any = _NullSpanTracer()
+            self.ring: Any = _NullRing()
+            self.sampler: Optional[TraceSampler] = None
+            return
+        self.metrics = MetricsRegistry()
+        if sample_rate is not None and sample_rate < 1:
+            raise ValueError("sample rate must be >= 1")
+        self.sampler = (
+            TraceSampler(sample_rate)
+            if sample_rate is not None and sample_rate > 1
+            else None
+        )
+        if ring_capacity is not None or self.sampler is not None:
+            self.ring = RingBufferSink(
+                self.trace,
+                self.metrics,
+                capacity=ring_capacity or DEFAULT_RING_CAPACITY,
+                sampler=self.sampler,
+            )
+        else:
+            self.ring = None
+        self.spans = SpanTracer(self.trace, now_fn, sink=self.ring)
 
     @classmethod
     def standalone(cls, start: float = 0.0, step: float = 1.0) -> "Telemetry":
@@ -123,13 +280,67 @@ class Telemetry:
             now = self._clock.tick()
         return now
 
+    # -- hot-path emission --------------------------------------------------
+
+    def emit(self, t: float, component: str, kind: str, **data: Any) -> None:
+        """Record one trace event through the ring when one is attached.
+
+        This is the sanctioned emission path for hot-closure call
+        sites (OBS003): a sink-backed bundle stages the record (one
+        tuple store, sampled at flush); a direct bundle falls through
+        to the log.
+        """
+        ring = self.ring
+        if ring is not None:
+            ring.emit(t, component, kind, data)
+        else:
+            self.trace.emit(t, component, kind, **data)  # repro: noqa[OBS003]
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Batch a counter delta through the ring when one is attached."""
+        ring = self.ring
+        if ring is not None:
+            ring.count(name, amount)
+        else:
+            self.metrics.counter(name).inc(amount)  # repro: noqa[OBS003]
+
+    def observe_exemplar(self, name: str, value: float, ref: str = "") -> None:
+        """Offer a histogram observation to the sampler's reservoirs."""
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.observe_exemplar(name, value, ref)
+
+    def flush(self) -> None:
+        """Drain any staged records/deltas into the log and registry."""
+        ring = self.ring
+        if ring is not None and ring.pending:
+            ring.flush()
+
+    def iter_record_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Lazily yield JSON-ready records (the streaming export path)."""
+        self.flush()
+        for record in self.trace:
+            yield record_to_dict(record)
+
     def snapshot(self) -> Dict[str, Any]:
         """Freeze metrics and trace records into a plain dict."""
-        return {
+        self.flush()
+        snap: Dict[str, Any] = {
             "format": TELEMETRY_FORMAT,
             "metrics": self.metrics.snapshot(),
             "records": [record_to_dict(r) for r in self.trace],
         }
+        sampler = self.sampler
+        if sampler is not None:
+            snap["sampling"] = {
+                "rate": sampler.rate,
+                "kept": sampler.kept,
+                "dropped": sampler.dropped,
+            }
+            exemplars = sampler.exemplars_snapshot()
+            if exemplars:
+                snap["exemplars"] = exemplars
+        return snap
 
 
 def snapshot_span_kinds(snapshot: Dict[str, Any]) -> List[str]:

@@ -107,12 +107,30 @@ class Simulator:
         datagram_ids: Per-run datagram ident sequence; network senders
             allocate from here so trace records carry run-local idents
             and same-seed runs stay byte-identical within one process.
+
+    Args:
+        seed: Root seed for every named random stream.
+        start_time: Initial virtual time.
+        ring_capacity: Slot count of the telemetry ring buffer (see
+            :mod:`repro.obs.ringbuf`); ``None`` uses the default.
+        sample_rate: Keep roughly 1-in-N traced exchanges
+            (:mod:`repro.obs.sampling`); ``None`` keeps all.
+        instrument: ``False`` runs with no-op telemetry (the bare leg
+            of the obs-overhead bench).
     """
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        ring_capacity: Optional[int] = None,
+        sample_rate: Optional[int] = None,
+        instrument: bool = True,
+    ) -> None:
         # Imported here, not at module scope: repro.obs and repro.net
         # depend on repro.simcore, so top-level imports would be circular.
         from repro.net.message import DatagramIdAllocator
+        from repro.obs.ringbuf import DEFAULT_RING_CAPACITY
         from repro.obs.telemetry import Telemetry
 
         self.now = float(start_time)
@@ -120,7 +138,15 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = TraceLog()
         self.datagram_ids = DatagramIdAllocator()
-        self.telemetry = Telemetry(now_fn=lambda: self.now, trace=self.trace)
+        self.telemetry = Telemetry(
+            now_fn=lambda: self.now,
+            trace=self.trace,
+            ring_capacity=(
+                ring_capacity if ring_capacity is not None else DEFAULT_RING_CAPACITY
+            ),
+            sample_rate=sample_rate,
+            enabled=instrument,
+        )
         self._events_total = self.telemetry.metrics.counter(
             "sim_events_total", "events executed by the simulator loop"
         )
@@ -170,6 +196,7 @@ class Simulator:
             self._events_total.inc(executed)
         self.now = max(self.now, end_time)
         span.end(events=executed)
+        self.telemetry.flush()
 
     def run_for(self, duration: float) -> None:
         """Advance virtual time by ``duration`` seconds."""
@@ -194,6 +221,7 @@ class Simulator:
             self._running = False
             self._events_total.inc(executed)
         span.end(events=executed)
+        self.telemetry.flush()
 
     def stop(self) -> None:
         """Stop the current run_* call after the in-flight event returns."""

@@ -30,22 +30,46 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only in-memory log of :class:`TraceRecord` entries."""
+    """Append-only in-memory log of :class:`TraceRecord` entries.
+
+    A staging *sink* (see :class:`repro.obs.ringbuf.RingBufferSink`) may
+    be attached; hot-path emitters then batch records in the sink and
+    the log drains it before any direct append or read, so the record
+    sequence observed by consumers is exactly the emission order with
+    or without a sink.
+    """
 
     def __init__(self) -> None:
         self._records: List[TraceRecord] = []
+        self._sink: Optional[Any] = None
+
+    def attach_sink(self, sink: Any) -> None:
+        """Register a staging sink drained before every append/read."""
+        self._sink = sink
+
+    def _drain(self) -> None:
+        sink = self._sink
+        if sink is not None and sink.pending:
+            sink.flush()
 
     def __len__(self) -> int:
+        self._drain()
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
+        self._drain()
         return iter(self._records)
 
     def emit(self, time: float, component: str, kind: str, **data: Any) -> TraceRecord:
         """Append and return a new record."""
+        self._drain()
         record = TraceRecord(time=time, component=component, kind=kind, data=dict(data))
         self._records.append(record)
         return record
+
+    def append(self, record: TraceRecord) -> None:
+        """Raw append used by the sink's batch flush (no drain, no copy)."""
+        self._records.append(record)
 
     def select(
         self, component: Optional[str] = None, kind: Optional[str] = None
@@ -68,6 +92,7 @@ class TraceLog:
             t0: Keep records with ``time >= t0``.
             t1: Keep records with ``time < t1``.
         """
+        self._drain()
         for rec in self._records:
             if component is not None and rec.component != component:
                 continue
@@ -95,6 +120,7 @@ class TraceLog:
 
     def components(self) -> List[str]:
         """Distinct emitting components, sorted."""
+        self._drain()
         return sorted({rec.component for rec in self._records})
 
     def kinds(self, component: Optional[str] = None) -> List[str]:
@@ -104,5 +130,6 @@ class TraceLog:
         )
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (staged ones included)."""
+        self._drain()
         self._records.clear()

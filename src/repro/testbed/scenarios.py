@@ -166,8 +166,21 @@ SCENARIOS: Dict[str, Scenario] = {
 }
 
 
-def run_scenario(name: str, seed: int = 0) -> ExperimentResult:
-    """Run a named scenario and return its result."""
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    sample_rate: Optional[int] = None,
+    ring_capacity: Optional[int] = None,
+) -> ExperimentResult:
+    """Run a named scenario and return its result.
+
+    Args:
+        name: Key into :data:`SCENARIOS`.
+        seed: Root seed for the run.
+        sample_rate: Optional 1-in-N trace sampling (see
+            :mod:`repro.obs.sampling`).
+        ring_capacity: Optional telemetry ring-buffer size override.
+    """
     scenario = SCENARIOS[name]
     runner = ExperimentRunner(
         seed=seed,
@@ -180,5 +193,7 @@ def run_scenario(name: str, seed: int = 0) -> ExperimentResult:
             if scenario.mntp_config_factory is not None
             else None
         ),
+        sample_rate=sample_rate,
+        ring_capacity=ring_capacity,
     )
     return runner.run()

@@ -1,0 +1,116 @@
+"""Deterministic trace sampling and reservoir exemplars."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_EXEMPLARS,
+    ERROR_KINDS,
+    Reservoir,
+    TraceSampler,
+    stable_hash,
+)
+
+
+def test_stable_hash_is_process_independent():
+    # CRC-32 reference values: any salted-hash regression changes these.
+    assert stable_hash("") == 0
+    assert stable_hash("tn-ntpd/1") == stable_hash("tn-ntpd/1")
+    assert 0 <= stable_hash("anything") <= 0xFFFFFFFF
+
+
+def test_rate_one_keeps_everything():
+    sampler = TraceSampler(rate=1)
+    for i in range(20):
+        assert sampler.keep_record("query", {"trace_id": f"tn-x/{i}"})
+    assert sampler.kept == 20
+    assert sampler.dropped == 0
+
+
+def test_rate_n_keeps_about_one_in_n_whole_exchanges():
+    sampler = TraceSampler(rate=4)
+    ids = [f"tn-ntpd/{i}" for i in range(400)]
+    kept = [t for t in ids if sampler.keep_record("query", {"trace_id": t})]
+    assert 0 < len(kept) < len(ids)
+    assert len(kept) == pytest.approx(100, rel=0.5)
+    # Every record of a kept exchange survives: the decision is a pure
+    # function of the trace id.
+    again = TraceSampler(rate=4)
+    for t in ids:
+        assert again.keep_record("reply", {"trace_id": t}) == (t in kept)
+
+
+def test_records_without_trace_id_always_kept():
+    sampler = TraceSampler(rate=1_000_000)
+    assert sampler.keep_record("phase", {})
+    assert sampler.keep_record("interference", {"dur": 1.0})
+    assert sampler.dropped == 0
+
+
+def test_error_evidence_always_kept():
+    sampler = TraceSampler(rate=1_000_000)
+    for kind in sorted(ERROR_KINDS):
+        assert sampler.keep_record(kind, {"trace_id": "tn-x/1"})
+    assert sampler.keep_record(
+        "exchange", {"trace_id": "tn-x/1", "outcome": "timeout"}
+    )
+    # An "ok" outcome gets no special treatment.
+    sampler_kept = sampler.kept
+    sampler.keep_record("exchange", {"trace_id": "tn-x/1", "outcome": "ok"})
+    assert sampler.kept + sampler.dropped == sampler_kept + 1
+
+
+def test_fault_window_keeps_everything():
+    sampler = TraceSampler(rate=1_000_000)
+    sampler.fault_begin()
+    sampler.fault_begin()  # nested episodes stack
+    assert sampler.keep_record("query", {"trace_id": "tn-x/1"})
+    sampler.fault_end()
+    assert sampler.fault_depth == 1
+    assert sampler.keep_record("query", {"trace_id": "tn-x/2"})
+    sampler.fault_end()
+    sampler.fault_end()  # underflow is clamped
+    assert sampler.fault_depth == 0
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        TraceSampler(rate=0)
+
+
+def test_reservoir_bounded_and_deterministic():
+    def fill():
+        reservoir = Reservoir(capacity=5)
+        for i in range(100):
+            reservoir.observe(float(i), ref=f"tn-x/{i}")
+        return reservoir.snapshot()
+
+    snap = fill()
+    assert snap == fill()
+    assert snap["seen"] == 100
+    assert snap["capacity"] == 5
+    assert len(snap["entries"]) == 5
+    keys = [e["key"] for e in snap["entries"]]
+    assert keys == sorted(keys)  # canonical key order
+
+
+def test_reservoir_under_capacity_keeps_all():
+    reservoir = Reservoir(capacity=DEFAULT_EXEMPLARS)
+    reservoir.observe(1.5, ref="a")
+    reservoir.observe(2.5, ref="b")
+    snap = reservoir.snapshot()
+    assert snap["seen"] == 2
+    assert sorted(e["value"] for e in snap["entries"]) == [1.5, 2.5]
+
+
+def test_reservoir_capacity_validation():
+    with pytest.raises(ValueError):
+        Reservoir(capacity=0)
+
+
+def test_sampler_exemplars_snapshot_name_sorted():
+    sampler = TraceSampler(rate=2, exemplar_capacity=3)
+    sampler.observe_exemplar("z_ms", 1.0, ref="a")
+    sampler.observe_exemplar("a_ms", 2.0, ref="b")
+    snap = sampler.exemplars_snapshot()
+    assert list(snap) == ["a_ms", "z_ms"]
+    assert snap["a_ms"]["seen"] == 1

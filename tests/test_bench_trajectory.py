@@ -16,14 +16,34 @@ def load_bench_module():
 def test_trajectory_appends_runs(tmp_path):
     bench = load_bench_module()
     out = tmp_path / "BENCH_obs.json"
-    assert bench._append_trajectory(out, {"a": 1.0, "b": 2.0}, "smoke") == 1
-    assert bench._append_trajectory(out, {"a": 1.1, "b": 2.2}, "full") == 2
+    number, priors = bench._append_trajectory(
+        out, {"a": 1.0, "b": 2.0}, {}, "smoke"
+    )
+    assert (number, priors) == (1, [])
+    number, priors = bench._append_trajectory(
+        out, {"a": 1.1, "b": 2.2}, {}, "full"
+    )
+    assert number == 2
+    assert [r["run"] for r in priors] == [1]
     doc = json.loads(out.read_text())
     assert doc["format"] == bench.TRAJECTORY_FORMAT
     assert [r["run"] for r in doc["runs"]] == [1, 2]
     assert [r["mode"] for r in doc["runs"]] == ["smoke", "full"]
     assert doc["runs"][0]["total_seconds"] == 3.0
+    assert doc["runs"][0]["wall_seconds"] == 3.0
     assert doc["runs"][1]["benches"] == {"a": 1.1, "b": 2.2}
+
+
+def test_trajectory_records_throughput(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_obs.json"
+    throughput = {"a": {"exchanges": 500.0, "simulated_s": 7200.0}}
+    bench._append_trajectory(out, {"a": 2.0, "b": 1.0}, throughput, "smoke")
+    doc = json.loads(out.read_text())
+    entry = doc["runs"][0]["throughput"]
+    assert list(entry) == ["a"]  # bench "b" recorded no throughput
+    assert entry["a"]["exchanges_per_s"] == 250.0
+    assert entry["a"]["sim_hours_per_s"] == 1.0
 
 
 def test_trajectory_migrates_single_run_document(tmp_path):
@@ -32,19 +52,104 @@ def test_trajectory_migrates_single_run_document(tmp_path):
     out.write_text(json.dumps(
         {"format": bench.BENCH_FORMAT, "benches": {"old": 4.0}}
     ))
-    assert bench._append_trajectory(out, {"new": 1.0}, "smoke") == 2
+    number, priors = bench._append_trajectory(out, {"new": 1.0}, {}, "smoke")
+    assert number == 2
     doc = json.loads(out.read_text())
     assert doc["runs"][0] == {
         "run": 1, "mode": "unknown", "benches": {"old": 4.0},
-        "total_seconds": 4.0,
+        "total_seconds": 4.0, "wall_seconds": 4.0,
     }
     assert doc["runs"][1]["benches"] == {"new": 1.0}
+
+
+def test_trajectory_migrates_old_schema_runs(tmp_path):
+    bench = load_bench_module()
+    out = tmp_path / "BENCH_obs.json"
+    out.write_text(json.dumps({
+        "format": bench.TRAJECTORY_FORMAT,
+        "runs": [
+            # Old smoke run: total_seconds only.
+            {"run": 1, "mode": "smoke", "benches": {"a": 2.0},
+             "total_seconds": 2.0},
+            # Old profile run: its total_seconds was never a suite
+            # total — the wall time moves to wall_seconds and the
+            # misleading field goes away.
+            {"run": 2, "mode": "profile", "benches": {},
+             "total_seconds": 0.4},
+        ],
+    }))
+    bench._append_trajectory(out, {"a": 2.1}, {}, "smoke")
+    doc = json.loads(out.read_text())
+    smoke_old, profile_old, fresh = doc["runs"]
+    assert smoke_old["wall_seconds"] == 2.0
+    assert smoke_old["total_seconds"] == 2.0
+    assert profile_old["wall_seconds"] == 0.4
+    assert "total_seconds" not in profile_old
+    assert fresh["wall_seconds"] == 2.1
 
 
 def test_trajectory_recovers_from_corrupt_file(tmp_path):
     bench = load_bench_module()
     out = tmp_path / "BENCH_obs.json"
     out.write_text("{ not json")
-    assert bench._append_trajectory(out, {"a": 1.0}, "smoke") == 1
+    number, priors = bench._append_trajectory(out, {"a": 1.0}, {}, "smoke")
+    assert (number, priors) == (1, [])
     doc = json.loads(out.read_text())
     assert len(doc["runs"]) == 1
+
+
+def _prior(run, mode, seconds, exchanges):
+    return {
+        "run": run, "mode": mode, "benches": {"a": seconds},
+        "wall_seconds": seconds,
+        "throughput": {"a": {
+            "exchanges": exchanges, "simulated_s": 3600.0,
+            "exchanges_per_s": round(exchanges / seconds, 3),
+            "sim_hours_per_s": round(1.0 / seconds, 3),
+        }},
+    }
+
+
+def test_throughput_gate_same_mode_only(capsys):
+    bench = load_bench_module()
+    priors = [
+        _prior(1, "smoke", 1.0, 1000.0),   # 1000 exch/s
+        # A slow full-suite run must not drag the smoke baseline down.
+        _prior(2, "full", 10.0, 1000.0),   # 100 exch/s
+    ]
+    throughput = {"a": {"exchanges": 1000.0, "simulated_s": 3600.0}}
+    # 10x slower than the smoke baseline: fails against smoke priors...
+    failures = bench._compare_throughput(
+        priors, {"a": 10.0}, throughput, "smoke", 0.25, 0.25
+    )
+    assert len(failures) == 1
+    assert "1,000 exch/s median" in failures[0]
+    # ...but the same measurement gated as a full run compares against
+    # the full prior only, and passes.
+    assert bench._compare_throughput(
+        priors, {"a": 10.0}, throughput, "full", 0.25, 0.25
+    ) == []
+    capsys.readouterr()
+
+
+def test_throughput_gate_uses_median_of_window(capsys):
+    bench = load_bench_module()
+    # One outlier fast run among normal ones: the median absorbs it.
+    priors = [
+        _prior(i, "smoke", s, 1000.0)
+        for i, s in enumerate([1.0, 1.0, 0.1, 1.0, 1.0], start=1)
+    ]
+    throughput = {"a": {"exchanges": 1000.0, "simulated_s": 3600.0}}
+    assert bench._compare_throughput(
+        priors, {"a": 1.2}, throughput, "smoke", 0.25, 0.25
+    ) == []
+    capsys.readouterr()
+
+
+def test_throughput_gate_without_priors_records_only(capsys):
+    bench = load_bench_module()
+    throughput = {"a": {"exchanges": 100.0, "simulated_s": 3600.0}}
+    assert bench._compare_throughput(
+        [], {"a": 1.0}, throughput, "smoke", 0.25, 0.25
+    ) == []
+    assert "no same-mode trajectory baseline" in capsys.readouterr().out

@@ -264,3 +264,151 @@ def test_explain_without_telemetry_payload(tmp_path, capsys):
 def test_explain_missing_file(capsys):
     assert main(["explain", "does-not-exist.json"]) == 2
     assert "cannot load" in capsys.readouterr().err
+
+
+# -- scale-out telemetry surface ------------------------------------------
+
+
+def test_run_with_sampling_and_ring_flags(tmp_path, capsys):
+    from repro.obs import load_jsonl
+
+    full = tmp_path / "full.jsonl"
+    sampled = tmp_path / "sampled.jsonl"
+    assert main(["--seed", "1", "run", "wired_corrected",
+                 "--telemetry", str(full)]) == 0
+    assert main(["--seed", "1", "run", "wired_corrected",
+                 "--sample-rate", "8", "--ring-capacity", "64",
+                 "--telemetry", str(sampled)]) == 0
+    capsys.readouterr()
+    with open(full) as f:
+        full_snap = load_jsonl(f)
+    with open(sampled) as f:
+        sampled_snap = load_jsonl(f)
+    assert len(sampled_snap["records"]) < len(full_snap["records"])
+    info = sampled_snap["sampling"]
+    assert info["rate"] == 8
+    # Cold-path records append directly (never offered to the sampler),
+    # so the snapshot holds the kept ones plus those.
+    assert info["kept"] <= len(sampled_snap["records"])
+    assert info["dropped"] > 0
+    # The sampled run self-meters its own telemetry cost.
+    names = {m["name"] for m in sampled_snap["metrics"]}
+    assert "obs_overhead_records_total" in names
+    # Sampling changes what is recorded, not what is simulated.
+    assert (
+        [m for m in sampled_snap["metrics"]
+         if m["name"] == "sntp_queries_total"]
+        == [m for m in full_snap["metrics"]
+            if m["name"] == "sntp_queries_total"]
+    )
+
+
+def test_run_rejects_bad_sample_rate(capsys):
+    assert main(["run", "wired_corrected", "--sample-rate", "0"]) == 2
+    assert "sample rate" in capsys.readouterr().err
+
+
+def test_trace_sample_rate_downsamples_deterministically(tmp_path, capsys):
+    run_path = tmp_path / "run.json"
+    assert main(["--seed", "1", "run", "wired_corrected",
+                 "--save", str(run_path)]) == 0
+    capsys.readouterr()
+    out_a = tmp_path / "a.jsonl"
+    out_b = tmp_path / "b.jsonl"
+    assert main(["trace", str(run_path), "--sample-rate", "4",
+                 "--jsonl", str(out_a), "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "sampled 1-in-4" in out
+    assert main(["trace", str(run_path), "--sample-rate", "4",
+                 "--jsonl", str(out_b), "--limit", "1"]) == 0
+    capsys.readouterr()
+    assert out_a.read_bytes() == out_b.read_bytes()
+    full = tmp_path / "full.jsonl"
+    assert main(["trace", str(run_path), "--jsonl", str(full),
+                 "--limit", "1"]) == 0
+    capsys.readouterr()
+    assert len(out_a.read_text().splitlines()) < len(
+        full.read_text().splitlines()
+    )
+
+
+def test_trace_rejects_bad_sample_rate(tmp_path, capsys):
+    run_path = tmp_path / "run.json"
+    assert main(["--seed", "1", "run", "wired_corrected",
+                 "--save", str(run_path)]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(run_path), "--sample-rate", "0"]) == 2
+    assert "sample rate" in capsys.readouterr().err
+
+
+def test_metrics_merge_is_order_independent(tmp_path, capsys):
+    import json
+
+    from repro.obs import Telemetry, make_shard
+
+    def shard(seed, name):
+        telemetry = Telemetry.standalone()
+        telemetry.metrics.counter("q_total").inc(seed)
+        telemetry.trace.emit(float(seed), "mntp", "tick", i=seed)
+        path = tmp_path / name
+        path.write_text(json.dumps(make_shard(telemetry.snapshot(), name)))
+        return path
+
+    a = shard(1, "a.json")
+    b = shard(2, "b.json")
+    out_ab = tmp_path / "ab.jsonl"
+    out_ba = tmp_path / "ba.jsonl"
+    assert main(["metrics", "--merge", str(a), str(b),
+                 "--out", str(out_ab)]) == 0
+    prom_ab = capsys.readouterr().out
+    assert main(["metrics", "--merge", str(b), str(a),
+                 "--out", str(out_ba)]) == 0
+    prom_ba = capsys.readouterr().out
+    assert out_ab.read_bytes() == out_ba.read_bytes()
+    assert prom_ab == prom_ba
+    assert "q_total 3" in prom_ab  # counters summed across shards
+
+
+def test_metrics_merge_argument_validation(tmp_path, capsys):
+    assert main(["metrics", "run.json", "--merge", "a.json"]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["metrics", "--out", "x.jsonl"]) == 2
+    assert "--out only applies" in capsys.readouterr().err
+    assert main(["metrics", "--merge", str(tmp_path / "missing.json")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "other"}')
+    assert main(["metrics", "--merge", str(bad)]) == 2
+    assert "expected" in capsys.readouterr().err
+
+
+def test_sharddemo_writes_shards_and_merged_jsonl(tmp_path, capsys):
+    import json
+
+    out_dir = tmp_path / "shards"
+    assert main(["--seed", "3", "sharddemo", "--shards", "2",
+                 "--exchanges", "60", "--sample-rate", "3", "--serial",
+                 "--out-dir", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "shard-0000" in out
+    assert "merged: 2 shards" in out
+    assert "sampling 1-in-3" in out
+    envelopes = sorted(out_dir.glob("shard-*.json"))
+    assert len(envelopes) == 2
+    document = json.loads(envelopes[0].read_text())
+    assert document["format"] == "mntp-telemetry-shard-v1"
+    merged = out_dir / "merged.jsonl"
+    assert merged.exists()
+    # The CLI merge of the written envelopes reproduces the same bytes.
+    check = tmp_path / "check.jsonl"
+    assert main(["metrics", "--merge", str(envelopes[1]), str(envelopes[0]),
+                 "--out", str(check)]) == 0
+    capsys.readouterr()
+    assert check.read_bytes() == merged.read_bytes()
+
+
+def test_sharddemo_argument_validation(capsys):
+    assert main(["sharddemo", "--shards", "0"]) == 2
+    assert "--shards >= 1" in capsys.readouterr().err
+    assert main(["sharddemo", "--shards", "5", "--exchanges", "3"]) == 2
+    assert "--exchanges" in capsys.readouterr().err
