@@ -29,6 +29,7 @@ def bench_fig4_sntp_wired_wireless(once, report, throughput):
             len(r.sntp) + r.sntp_failures for r in results.values()
         ),
         simulated_s=len(CONDITIONS) * 3600.0,
+        telemetry=[r.telemetry for r in results.values()],
     )
 
     rows = []

@@ -38,6 +38,7 @@ def bench_fig7_signals_selection(once, report, throughput):
             for name in ("mntp_deferred_total", "mntp_query_sent_total")
         ),
         simulated_s=3600.0,
+        telemetry=result.telemetry,
     )
 
     # Filtered iteration over the shared log (one pass per kind, lazy).

@@ -11,9 +11,12 @@ recorded baseline (``benchmarks/bench-baseline.json``)::
     python scripts/bench.py --smoke          # fast subset (CI gate)
     python scripts/bench.py --update-baseline
 
-``BENCH_obs.json`` keeps every run (run number, mode, per-bench
-seconds, per-run ``wall_seconds``), so performance can be tracked
-across commits instead of only gated against the latest baseline.  A
+``BENCH_obs.json`` keeps the trailing history (run number, mode,
+per-bench seconds, per-run ``wall_seconds``) so performance can be
+tracked across commits instead of only gated against the latest
+baseline; every append prunes the trajectory to the last
+``TRAJECTORY_KEEP_PER_MODE`` runs of each mode (run numbers stay
+monotonic), which also migrates unbounded pre-existing files.  A
 pre-trajectory single-run document is migrated in place as run 1, and
 runs recorded under the old schema (``total_seconds`` on every run,
 including profile-mode runs whose wall time is not a suite total) are
@@ -37,6 +40,13 @@ A bench "regresses" when its wall time exceeds
 ``baseline * (1 + tolerance) + floor``; the absolute floor absorbs
 scheduler noise on very fast benches so sub-second jitter does not turn
 into false alarms across machines.
+
+Benches that hand their telemetry snapshots to the ``throughput``
+fixture get automatic triage: each run's merged per-bench snapshot is
+archived under ``benchmarks/telemetry/`` (last few runs per mode), and
+when a throughput gate trips, the failing run is diffed against the
+trajectory's median baseline run (``repro.obs.diff``) and the ranked
+suspect components are printed next to the REGRESSION verdict.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import statistics
 import subprocess
 import sys
@@ -57,8 +68,12 @@ from repro.analysis.profile import migrate_trajectory_runs  # noqa: E402
 BENCH_DIR = REPO_ROOT / "benchmarks"
 DEFAULT_OUT = REPO_ROOT / "BENCH_obs.json"
 DEFAULT_BASELINE = BENCH_DIR / "bench-baseline.json"
+TELEMETRY_DIR = BENCH_DIR / "telemetry"
 BENCH_FORMAT = "mntp-bench-v1"
 TRAJECTORY_FORMAT = "mntp-bench-trajectory-v1"
+
+#: Trajectory runs retained per mode; appending prunes older ones.
+TRAJECTORY_KEEP_PER_MODE = 25
 
 #: The fast subset exercised by ``--smoke`` (seconds each, not minutes).
 SMOKE_BENCHES = (
@@ -86,10 +101,14 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def _run_pytest(targets: List[str], out: Path) -> int:
+def _run_pytest(
+    targets: List[str], out: Path, telemetry_dir: Optional[Path] = None
+) -> int:
     """Run the bench suite with the timing hook armed."""
     env = dict(os.environ)
     env["REPRO_BENCH_OBS"] = str(out)
+    if telemetry_dir is not None:
+        env["REPRO_BENCH_TELEMETRY"] = str(telemetry_dir)
     env["PYTHONPATH"] = (
         f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
         if env.get("PYTHONPATH")
@@ -135,6 +154,20 @@ def _throughput_entry(
     }
 
 
+def _prune_runs(
+    runs: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Keep the newest TRAJECTORY_KEEP_PER_MODE runs of each mode."""
+    keep: set = set()
+    counts: Dict[str, int] = {}
+    for index in range(len(runs) - 1, -1, -1):
+        mode = str(runs[index].get("mode", "unknown"))
+        if counts.get(mode, 0) < TRAJECTORY_KEEP_PER_MODE:
+            counts[mode] = counts.get(mode, 0) + 1
+            keep.add(index)
+    return [run for index, run in enumerate(runs) if index in keep]
+
+
 def _append_trajectory(
     path: Path,
     measured: Dict[str, float],
@@ -148,7 +181,10 @@ def _append_trajectory(
     ``mntp-bench-v1``) document at ``path`` is migrated in place as
     run 1, and old-schema runs gain ``wall_seconds`` (profile runs
     drop their misleading ``total_seconds``) via
-    :func:`repro.analysis.profile.migrate_trajectory_runs`.
+    :func:`repro.analysis.profile.migrate_trajectory_runs`.  The
+    stored trajectory is pruned to the last
+    :data:`TRAJECTORY_KEEP_PER_MODE` runs per mode (run numbers keep
+    counting up), which caps unbounded pre-existing files too.
     """
     runs: List[Dict[str, object]] = []
     if path.exists():
@@ -171,9 +207,11 @@ def _append_trajectory(
                     "benches": benches,
                     "total_seconds": round(sum(benches.values()), 3),
                 }]
-    runs = migrate_trajectory_runs(runs)
+    runs = _prune_runs(migrate_trajectory_runs(runs))
     priors = list(runs)
-    number = len(runs) + 1
+    number = max(
+        (int(run.get("run", 0)) for run in runs), default=0
+    ) + 1
     total = round(sum(measured.values()), 3)
     entry: Dict[str, object] = {
         "run": number,
@@ -192,6 +230,7 @@ def _append_trajectory(
             if name in measured
         }
     runs.append(entry)
+    runs = _prune_runs(runs)
     with open(path, "w") as f:
         json.dump(
             {"format": TRAJECTORY_FORMAT, "runs": runs},
@@ -203,6 +242,129 @@ def _append_trajectory(
 
 #: Same-mode prior runs feeding each throughput baseline (median).
 THROUGHPUT_WINDOW = 5
+
+#: Archived per-bench telemetry snapshots kept per (mode, bench) —
+#: enough to cover the whole throughput window plus the fresh run.
+TELEMETRY_KEEP = THROUGHPUT_WINDOW + 1
+
+
+def _telemetry_path(mode: str, number: int, bench: str) -> Path:
+    """Archive location of one run's merged per-bench snapshot."""
+    return TELEMETRY_DIR / f"{mode}-run-{number}-{bench}.json"
+
+
+def _archived_run_number(path: Path, mode: str, bench: str) -> Optional[int]:
+    """Run number encoded in an archived snapshot name, else None."""
+    prefix, suffix = f"{mode}-run-", f"-{bench}.json"
+    name = path.name
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        return None
+    middle = name[len(prefix):len(name) - len(suffix)]
+    try:
+        return int(middle)
+    except ValueError:
+        return None
+
+
+def _archive_telemetry(scratch: Path, number: int, mode: str) -> None:
+    """Move this run's captured snapshots into benchmarks/telemetry/.
+
+    The bench conftest writes one merged ``<bench>.json`` per module
+    into the scratch directory; each is renamed to carry the run's
+    mode and trajectory number, and older archives of the same
+    (mode, bench) are pruned down to :data:`TELEMETRY_KEEP`.
+    """
+    if not scratch.is_dir():
+        return
+    for source in sorted(scratch.glob("*.json")):
+        bench = source.stem
+        TELEMETRY_DIR.mkdir(parents=True, exist_ok=True)
+        source.replace(_telemetry_path(mode, number, bench))
+        archived = sorted(
+            (run, path)
+            for path in TELEMETRY_DIR.glob(f"{mode}-run-*-{bench}.json")
+            for run in [_archived_run_number(path, mode, bench)]
+            if run is not None
+        )
+        for _run, path in archived[:-TELEMETRY_KEEP]:
+            path.unlink(missing_ok=True)
+    shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _median_baseline_run(
+    priors: List[Dict[str, object]], name: str, mode: str
+) -> Optional[int]:
+    """Trajectory run number whose rate sits at the gate's median.
+
+    Mirrors :func:`_compare_throughput`'s baseline selection — the
+    same-mode runs in the trailing window that recorded a positive
+    rate for ``name`` — and returns the run whose ``exchanges_per_s``
+    is closest to their median (ties go to the most recent run), so
+    the triage diff compares against a representative healthy run.
+    """
+    candidates = [
+        (int(run.get("run", 0)),
+         float(run["throughput"][name]["exchanges_per_s"]))
+        for run in priors
+        if run.get("mode") == mode
+        and name in run.get("throughput", {})
+        and float(run["throughput"][name].get("exchanges_per_s", 0)) > 0
+    ][-THROUGHPUT_WINDOW:]
+    if not candidates:
+        return None
+    median = statistics.median(rate for _number, rate in candidates)
+    return min(
+        candidates, key=lambda pair: (abs(pair[1] - median), -pair[0])
+    )[0]
+
+
+def _triage_failures(
+    failures: List[str],
+    priors: List[Dict[str, object]],
+    number: int,
+    mode: str,
+    top: int = 5,
+) -> None:
+    """Diff each failing bench's run against its median baseline run.
+
+    Failure strings lead with the bench name (``name: ...``); the
+    corresponding archived snapshots — this run's and the median
+    baseline run's — feed ``repro.obs.diff`` and the ranked suspect
+    components print under a ``triage`` heading.  Benches without
+    archived telemetry degrade to a one-line notice.
+    """
+    from repro.obs.diff import (
+        coerce_snapshot, diff_snapshots, render_diff_text,
+    )
+
+    for failure in failures:
+        name = failure.split(":", 1)[0]
+        current = _telemetry_path(mode, number, name)
+        baseline_number = _median_baseline_run(priors, name, mode)
+        if baseline_number is None:
+            print(f"triage {name}: no same-mode baseline run to diff")
+            continue
+        baseline = _telemetry_path(mode, baseline_number, name)
+        missing = [p for p in (baseline, current) if not p.exists()]
+        if missing:
+            print(f"triage {name}: no archived telemetry to diff "
+                  f"(missing {', '.join(p.name for p in missing)})")
+            continue
+        try:
+            with open(baseline) as f:
+                snap_a, samples_a = coerce_snapshot(json.load(f))
+            with open(current) as f:
+                snap_b, samples_b = coerce_snapshot(json.load(f))
+            diff = diff_snapshots(
+                snap_a, snap_b, samples_a=samples_a, samples_b=samples_b
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"triage {name}: cannot diff archived telemetry: {exc}")
+            continue
+        print(f"triage {name}: run {number} vs median baseline "
+              f"run {baseline_number} ({baseline.name})")
+        for line in render_diff_text(diff, top=top).splitlines():
+            print(f"  {line}")
 
 
 def _compare_throughput(
@@ -297,10 +459,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # The pytest hook writes a single-run document to a scratch path;
     # the run is then folded into the cumulative trajectory at --out.
+    # Telemetry snapshots land in a sibling scratch directory and are
+    # archived (with the run number) once the trajectory assigns one.
     run_doc = args.out.with_name(args.out.stem + "-run.json")
     if run_doc.exists():
         run_doc.unlink()
-    rc = _run_pytest(targets, run_doc)
+    telemetry_scratch = args.out.with_name(args.out.stem + "-telemetry")
+    shutil.rmtree(telemetry_scratch, ignore_errors=True)
+    rc = _run_pytest(targets, run_doc, telemetry_scratch)
     if not run_doc.exists():
         print(f"bench run produced no {run_doc} (pytest exit {rc})",
               file=sys.stderr)
@@ -321,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     mode = "smoke" if args.smoke else "full"
     number, priors = _append_trajectory(args.out, measured, throughput, mode)
     print(f"run {number} appended to trajectory {args.out}")
+    _archive_telemetry(telemetry_scratch, number, mode)
 
     if args.update_baseline:
         baseline = (
@@ -356,6 +523,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _compare(measured, baseline, args.tolerance, args.floor)
         )
     if failures:
+        _triage_failures(failures, priors, number, mode)
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)
         return 1

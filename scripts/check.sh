@@ -51,12 +51,23 @@ if [[ "${1:-}" != "--fast" ]]; then
     # Appends a run to the BENCH_obs.json trajectory; fails if the
     # timing document cannot be produced, any smoke bench regresses
     # >25% against benchmarks/bench-baseline.json, or a bench's
-    # exchanges/sec falls below the same-mode trajectory median.
+    # exchanges/sec falls below the same-mode trajectory median.  On a
+    # tripped throughput gate the harness auto-diffs the run's archived
+    # telemetry against the trajectory's median baseline run and prints
+    # ranked triage suspects before the REGRESSION lines.
     python scripts/bench.py --smoke
 
+    echo "== run-health SLO gate (smoke)"
+    # Runs the chaos smoke scenario under the streaming HealthMonitor
+    # (smoke SloSpec) and fails unless the seeded fault episode lands
+    # on a degraded/violated -> recovered cycle with every violation
+    # inside a fault window; see docs/OBSERVABILITY.md "Health & SLOs".
+    python -m repro.cli health --smoke > /dev/null
+
     echo "== telemetry overhead gate (instrumented <= 15% over bare)"
-    # min-of-3 interleaved instrumented/bare runs of the smoke
-    # scenario; fails if ring-buffered telemetry costs more than 15%.
+    # Median per-pair ratio over five interleaved instrumented/bare
+    # runs of the smoke scenario (health monitor attached); fails if
+    # the full telemetry stack costs more than 15%.
     python scripts/obs_overhead.py
 
     echo "== chaos gate (smoke fault matrix)"

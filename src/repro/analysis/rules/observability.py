@@ -16,6 +16,15 @@ names must follow the Prometheus convention (``_total`` counters, a
 unit suffix on gauges/histograms).  Dynamic names (variables,
 f-string prefixes) are out of static reach and are skipped, except that
 an f-string's literal tail still gets its suffix checked.
+
+SLO thresholds are contracts of a third kind: the health monitor's
+verdicts are only auditable if every threshold lives in the declarative
+:class:`~repro.obs.health.SloSpec` (unit-suffixed, JSON-round-tripped,
+archived with the run).  A magic number inlined into health-checking
+code silently forks the spec, so :class:`SloLiteralRule` flags numeric
+literals compared against unit-suffixed quantities in modules that do
+health checking (``repro.obs.health`` itself plus any ``repro`` module
+importing from it).
 """
 
 from __future__ import annotations
@@ -182,3 +191,113 @@ class TaxonomyRule(Rule):
                 "suffix from repro.obs.taxonomy.METRIC_UNIT_SUFFIXES "
                 "(e.g. _seconds, _ms, _ppm, _ratio)",
             )
+
+
+#: The SLO-spec module; importing from it marks a module as
+#: health-checking code and puts it in OBS004 scope.
+_HEALTH_MODULE = "repro.obs.health"
+
+#: Health names whose import (e.g. via the ``repro.obs`` facade) also
+#: marks the importer as health-checking code.
+_HEALTH_IMPORT_NAMES = frozenset({
+    "SloSpec", "HealthMonitor", "smoke_spec", "replay_health",
+    "recovered_transitions", "render_health_text",
+})
+
+#: Suffixes marking a name as carrying its unit — the SloSpec field
+#: naming convention thresholds must be declared under.
+SLO_UNIT_SUFFIXES = (
+    "_s", "_ms", "_us", "_ns", "_ratio", "_percent", "_per_s",
+)
+
+
+def _numeric_literal(node: ast.expr) -> Optional[float]:
+    """The value of a numeric literal expression, else None.
+
+    Handles a leading unary minus (``-5.0`` parses as ``USub`` over a
+    constant); bools are constants too but are never thresholds.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _numeric_literal(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and not isinstance(node.value, bool) \
+            and isinstance(node.value, (int, float)):
+        return node.value
+    return None
+
+
+def _unit_suffixed_name(node: ast.expr) -> Optional[str]:
+    """The identifier carried by ``node`` when it has a unit suffix."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    return name if name.endswith(SLO_UNIT_SUFFIXES) else None
+
+
+@register
+class SloLiteralRule(Rule):
+    """SLO thresholds must be SloSpec fields, not inline literals.
+
+    Flags numeric literals (other than the structural constants 0, 1
+    and -1) compared against a unit-suffixed name — ``window_s``,
+    ``drop_rate_ratio``, ``p99_abs_error_ms`` — inside health-checking
+    code.  Such a comparison is an SLO judgement, and its threshold
+    belongs in a unit-suffixed :class:`~repro.obs.health.SloSpec` field
+    where it is declared once, validated, JSON-round-tripped, and
+    archived with the run's verdict.
+    """
+
+    rule_id = "OBS004"
+    summary = (
+        "SLO threshold literals in health-checking code must come from "
+        "a unit-suffixed SloSpec field, not an inline magic number"
+    )
+
+    #: Structural constants (empty/disabled/sign checks), never SLOs.
+    _EXEMPT = frozenset({0, 1, -1})
+
+    def run(self) -> List[Finding]:
+        """Scope: ``repro.obs.health`` plus repro modules importing it."""
+        if len(self.module.module) < 2 or self.module.module[0] != "repro":
+            return []
+        if self.module.dotted() != _HEALTH_MODULE \
+                and not self._imports_health():
+            return []
+        return super().run()
+
+    def _imports_health(self) -> bool:
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == _HEALTH_MODULE:
+                    return True
+                if node.module in ("repro.obs", "repro.obs.health") and any(
+                    alias.name in _HEALTH_IMPORT_NAMES
+                    for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(alias.name == _HEALTH_MODULE for alias in node.names):
+                    return True
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Flag literal-vs-unit-suffixed-name comparison operands."""
+        sides = [node.left, *node.comparators]
+        for left, right in zip(sides, sides[1:]):
+            for literal_node, other in ((left, right), (right, left)):
+                value = _numeric_literal(literal_node)
+                if value is None or value in self._EXEMPT:
+                    continue
+                name = _unit_suffixed_name(other)
+                if name is None:
+                    continue
+                self.report(
+                    literal_node,
+                    f"threshold literal {value!r} compared against "
+                    f"'{name}'; declare it as a unit-suffixed SloSpec "
+                    "field so the SLO is archived with the run",
+                )
+        self.generic_visit(node)

@@ -76,6 +76,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None, metavar="SLOTS",
                      help="telemetry ring-buffer slots before a batch "
                      "flush (default 1024)")
+    run.add_argument("--watch", action="store_true",
+                     help="attach the streaming health monitor and print "
+                     "one line per SLO evaluation during the run")
+    run.add_argument("--slo", metavar="PATH", default=None,
+                     help="SloSpec JSON for --watch (default thresholds "
+                     "otherwise)")
 
     replay = sub.add_parser("replay", help="summarise an archived run")
     replay.add_argument("path", help="JSON file written by 'run --save'")
@@ -115,6 +121,41 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="aggregation window in seconds (default 300)")
     explain.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
+
+    health = sub.add_parser(
+        "health",
+        help="judge a run against its SLO envelope: replay an archived "
+        "run's telemetry through the streaming health monitor and print "
+        "the mntp-health-report-v1 verdict",
+    )
+    health.add_argument(
+        "path", nargs="?", default=None,
+        help="archived run (JSON written by 'run --save')",
+    )
+    health.add_argument("--slo", metavar="PATH", default=None,
+                        help="SloSpec JSON with the thresholds to judge "
+                        "against (defaults otherwise)")
+    health.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of text")
+    health.add_argument("--smoke", action="store_true",
+                        help="CI gate: run the chaos_smoke scenario live "
+                        "under the smoke SLO spec and require a full "
+                        "degraded->recovered cycle with no violation "
+                        "outside a fault window")
+
+    diff = sub.add_parser(
+        "diff",
+        help="canonical diff of two telemetry documents (snapshots, "
+        "shard envelopes, merged shards, or archived runs) with ranked "
+        "suspect components for any movement",
+    )
+    diff.add_argument("a", help="baseline document")
+    diff.add_argument("b", help="candidate document")
+    diff.add_argument("--json", action="store_true",
+                      help="print the mntp-telemetry-diff-v1 document "
+                      "instead of text")
+    diff.add_argument("--top", type=int, default=5,
+                      help="suspects to print in text mode (default 5)")
 
     metrics = sub.add_parser(
         "metrics", help="metrics of a run in Prometheus text format"
@@ -290,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if command == "explain":
         return _cmd_explain(args)
+    if command == "health":
+        return _cmd_health(args)
+    if command == "diff":
+        return _cmd_diff(args)
     if command == "metrics":
         return _cmd_metrics(args)
     if command == "sharddemo":
@@ -325,12 +370,23 @@ def _cmd_scenarios() -> int:
 
 
 def _cmd_run(args) -> int:
+    watch = getattr(args, "watch", False)
+    health_spec = None
+    if getattr(args, "slo", None):
+        if not watch:
+            print("--slo only applies with --watch", file=sys.stderr)
+            return 2
+        health_spec = _load_slo_spec(args.slo)
+        if health_spec is None:
+            return 2
     try:
         result = run_scenario(
             args.scenario,
             seed=args.seed,
             sample_rate=getattr(args, "sample_rate", None),
             ring_capacity=getattr(args, "ring_capacity", None),
+            health_spec=health_spec,
+            on_health=_print_health_line if watch else None,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -343,10 +399,41 @@ def _cmd_run(args) -> int:
         print(f"result archived to {args.save}")
     if getattr(args, "telemetry", None):
         _write_telemetry(result.telemetry, args.telemetry)
+    if watch and result.health is not None:
+        print(f"health verdict: {result.health['verdict']} "
+              f"(final state: {result.health['state']})")
     if getattr(args, "json", False):
         print(json.dumps(_summary_dict(result), sort_keys=True, indent=2))
         return 0
     return _summarise(result)
+
+
+def _load_slo_spec(path: str):
+    """Parse a SloSpec JSON file (None + stderr message on error)."""
+    from repro.obs import SloSpec
+
+    try:
+        with open(path) as f:
+            return SloSpec.from_json(f.read())
+    except (OSError, TypeError, ValueError) as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _print_health_line(row: Dict[str, Any]) -> None:
+    """One ``run --watch`` line per periodic SLO evaluation."""
+    signals = row["signals"]
+
+    def fmt(key: str, unit: str) -> str:
+        value = signals.get(key)
+        return "n/a" if value is None else f"{value:.2f}{unit}"
+
+    fault = "  [fault window]" if row["in_fault_window"] else ""
+    print(f"health t={row['t']:9.2f}  {row['state']:<9} "
+          f"p99|err|={fmt('p99_abs_error_ms', 'ms')} "
+          f"drop={fmt('drop_rate_ratio', '')} "
+          f"starvation={fmt('starvation_s', 's')} "
+          f"rate={fmt('exchange_rate_per_s', '/s')}{fault}")
 
 
 def _cmd_replay(args) -> int:
@@ -554,6 +641,113 @@ def _cmd_explain(args) -> int:
         return 0
     print(report.render_text(worst_n=args.worst))
     return 0
+
+
+def _cmd_health(args) -> int:
+    from repro.obs import render_health_text
+
+    spec = None
+    if getattr(args, "slo", None):
+        spec = _load_slo_spec(args.slo)
+        if spec is None:
+            return 2
+    if getattr(args, "smoke", False):
+        return _health_smoke(args, spec)
+    if args.path is None:
+        print("give an archived run path or --smoke", file=sys.stderr)
+        return 2
+    from repro.obs import replay_health
+    from repro.testbed.persistence import load_result
+
+    try:
+        with open(args.path) as f:
+            result = load_result(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if result.telemetry is None:
+        print(f"{args.path} has no telemetry payload (saved by an older "
+              "version?)", file=sys.stderr)
+        return 2
+    monitor = replay_health(
+        result.telemetry, samples=result.offset_samples(), spec=spec
+    )
+    report = monitor.report()
+    if getattr(args, "json", False):
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_health_text(report))
+    return 1 if report["verdict"] == "violated" else 0
+
+
+def _health_smoke(args, spec) -> int:
+    """The CI gate: a live fault-matrix run must cycle back to healthy."""
+    from repro.obs import recovered_transitions, render_health_text, smoke_spec
+
+    result = run_scenario(
+        "chaos_smoke", seed=args.seed,
+        health_spec=spec if spec is not None else smoke_spec(),
+    )
+    report = result.health
+    assert report is not None
+    if getattr(args, "json", False):
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_health_text(report))
+    recovered = recovered_transitions(report)
+    ok = report["verdict"] != "violated" and recovered >= 1
+    print(f"health smoke: verdict={report['verdict']} "
+          f"recovered_transitions={recovered} -> "
+          f"{'OK' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _load_diff_document(path: str):
+    """A diffable document from JSON or JSONL (None + stderr on error)."""
+    from repro.obs import load_jsonl
+
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    import io
+
+    try:
+        return load_jsonl(io.StringIO(text))
+    except ValueError as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs import coerce_snapshot, diff_snapshots, render_diff_text
+
+    doc_a = _load_diff_document(args.a)
+    if doc_a is None:
+        return 2
+    doc_b = _load_diff_document(args.b)
+    if doc_b is None:
+        return 2
+    try:
+        snap_a, samples_a = coerce_snapshot(doc_a)
+        snap_b, samples_b = coerce_snapshot(doc_b)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    diff = diff_snapshots(
+        snap_a, snap_b, samples_a=samples_a, samples_b=samples_b
+    )
+    if getattr(args, "json", False):
+        print(json.dumps(diff, sort_keys=True, indent=2))
+    else:
+        print(render_diff_text(diff, top=args.top))
+    return 0 if diff["identical"] else 1
 
 
 def _cmd_metrics(args) -> int:

@@ -92,6 +92,11 @@ class FaultInjector:
 
         def begin() -> None:
             self._episodes_started.inc()
+            health = getattr(self._sim, "health", None)
+            if health is not None:
+                # The run-health monitor annotates SLO transitions that
+                # happen inside a fault window (or its grace period).
+                health.fault_begin(self._sim.now)
             sampler = self._sim.telemetry.sampler
             if sampler is not None:
                 # Fault windows always keep their causal trees: the
@@ -115,6 +120,9 @@ class FaultInjector:
             sampler = self._sim.telemetry.sampler
             if sampler is not None:
                 sampler.fault_end()
+            health = getattr(self._sim, "health", None)
+            if health is not None:
+                health.fault_end(self._sim.now)
 
         self._sim.call_at(episode.start, begin, label="fault:begin")
         self._sim.call_at(episode.end, end, label="fault:end")

@@ -77,6 +77,23 @@ from repro.obs.explain import (
     explain_run,
     render_tree,
 )
+from repro.obs.health import (
+    HEALTH_FORMAT,
+    HEALTH_STATES,
+    HealthMonitor,
+    SloSpec,
+    recovered_transitions,
+    render_health_text,
+    replay_health,
+    smoke_spec,
+)
+from repro.obs.diff import (
+    DIFF_FORMAT,
+    coerce_snapshot,
+    diff_snapshots,
+    rank_suspects,
+    render_diff_text,
+)
 
 __all__ = [
     "Counter",
@@ -135,4 +152,17 @@ __all__ = [
     "decompose",
     "explain_run",
     "render_tree",
+    "HEALTH_FORMAT",
+    "HEALTH_STATES",
+    "HealthMonitor",
+    "SloSpec",
+    "recovered_transitions",
+    "render_health_text",
+    "replay_health",
+    "smoke_spec",
+    "DIFF_FORMAT",
+    "coerce_snapshot",
+    "diff_snapshots",
+    "rank_suspects",
+    "render_diff_text",
 ]

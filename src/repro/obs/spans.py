@@ -58,13 +58,42 @@ class Span:
     def end(self, t: Optional[float] = None, **attrs: Any) -> Optional[TraceRecord]:
         """Close the span and emit its record; idempotent.
 
+        The close path is inlined here (rather than delegating to the
+        tracer) because every span in the run pays it — one less call
+        frame on a path the obs-overhead gate meters.
+
         Args:
             t: Explicit end time (defaults to the tracer's clock).
             attrs: Extra attributes merged into the span record.
         """
         if self.t1 is not None:
             return None
-        return self._tracer._finish(self, t, attrs)
+        tracer = self._tracer
+        t0 = self.t0
+        t1 = tracer._now_fn() if t is None else float(t)
+        if t1 < t0:
+            t1 = t0
+        self.t1 = t1
+        span_attrs = self.attrs
+        if attrs:
+            span_attrs.update(attrs)
+        tracer._open.pop(id(self), None)
+        sink = tracer._sink
+        if sink is not None:
+            data = {"t0": t0, "t1": t1, "dur": t1 - t0}
+            if span_attrs:
+                data.update(span_attrs)
+            sink.emit(t0, SPAN_COMPONENT, self.name, data)
+            return None
+        return tracer.trace.emit(  # repro: noqa[OBS003]
+            t0,
+            SPAN_COMPONENT,
+            self.name,
+            t0=t0,
+            t1=t1,
+            dur=t1 - t0,
+            **span_attrs,
+        )
 
     def __enter__(self) -> "Span":
         return self
@@ -108,33 +137,6 @@ class SpanTracer:
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a span for use as a context manager."""
         return self.begin(name, **attrs)
-
-    def _finish(
-        self, span: Span, t: Optional[float], attrs: dict
-    ) -> Optional[TraceRecord]:
-        t0 = span.t0
-        t1 = self._now_fn() if t is None else float(t)
-        if t1 < t0:
-            t1 = t0
-        span.t1 = t1
-        if attrs:
-            span.attrs.update(attrs)
-        self._open.pop(id(span), None)
-        if self._sink is not None:
-            data = {"t0": t0, "t1": t1, "dur": t1 - t0}
-            if span.attrs:
-                data.update(span.attrs)
-            self._sink.emit(t0, SPAN_COMPONENT, span.name, data)
-            return None
-        return self.trace.emit(  # repro: noqa[OBS003]
-            t0,
-            SPAN_COMPONENT,
-            span.name,
-            t0=t0,
-            t1=t1,
-            dur=t1 - t0,
-            **span.attrs,
-        )
 
     @property
     def open_count(self) -> int:

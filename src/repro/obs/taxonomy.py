@@ -13,7 +13,8 @@ from __future__ import annotations
 
 #: Subsystems allowed to own span kinds (the prefix before the dot).
 SPAN_SUBSYSTEMS = frozenset(
-    {"sim", "mntp", "sntp", "link", "server", "channel", "tuner", "fault"}
+    {"sim", "mntp", "sntp", "link", "server", "channel", "tuner", "fault",
+     "health"}
 )
 
 #: Every registered span kind.  Emitting an unregistered kind from a
@@ -32,6 +33,7 @@ SPAN_KINDS = frozenset(
         "tuner.tune",
         "tuner.eval",
         "fault.episode",
+        "health.transition",
     }
 )
 

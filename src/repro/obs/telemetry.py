@@ -328,7 +328,20 @@ class Telemetry:
         snap: Dict[str, Any] = {
             "format": TELEMETRY_FORMAT,
             "metrics": self.metrics.snapshot(),
-            "records": [record_to_dict(r) for r in self.trace],
+            # record_to_dict inlined and the payload dict aliased, not
+            # copied: thousands of records materialise here per run,
+            # and snapshot consumers (exporters, merge, diff) treat
+            # record payloads as read-only — merge already aliases
+            # them across documents.
+            "records": [
+                {
+                    "t": r.time,
+                    "component": r.component,
+                    "kind": r.kind,
+                    "data": r.data,
+                }
+                for r in self.trace
+            ],
         }
         sampler = self.sampler
         if sampler is not None:

@@ -8,13 +8,17 @@ scraping printed output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One structured trace entry.
+
+    A plain ``__slots__`` class rather than a dataclass: the ring
+    buffer materialises thousands of records per run in its flush
+    batches, and the frozen-dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) costs ~4x a direct slot store
+    on that path.  Records are treated as immutable by convention.
 
     Attributes:
         time: Virtual time of the event.
@@ -23,10 +27,36 @@ class TraceRecord:
         data: Arbitrary payload fields.
     """
 
-    time: float
-    component: str
-    kind: str
-    data: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "component", "kind", "data")
+
+    def __init__(
+        self,
+        time: float,
+        component: str,
+        kind: str,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.component = component
+        self.kind = kind
+        self.data = {} if data is None else data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.component == other.component
+            and self.kind == other.kind
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time={self.time!r}, "
+            f"component={self.component!r}, kind={self.kind!r}, "
+            f"data={self.data!r})"
+        )
 
 
 class TraceLog:
@@ -70,6 +100,10 @@ class TraceLog:
     def append(self, record: TraceRecord) -> None:
         """Raw append used by the sink's batch flush (no drain, no copy)."""
         self._records.append(record)
+
+    def extend(self, records: List[TraceRecord]) -> None:
+        """Raw bulk append (sink flush path; no drain, no copy)."""
+        self._records.extend(records)
 
     def select(
         self, component: Optional[str] = None, kind: Optional[str] = None

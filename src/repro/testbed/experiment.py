@@ -109,6 +109,9 @@ class ExperimentResult:
             archived runs (see :mod:`repro.obs.explain`); None on live
             results — call :func:`repro.obs.explain_run` on
             ``telemetry`` instead.
+        health: The ``mntp-health-report-v1`` verdict of the run's
+            :class:`repro.obs.health.HealthMonitor`; None when the run
+            was not health-monitored.
     """
 
     sntp: List[OffsetPoint] = field(default_factory=list)
@@ -118,6 +121,7 @@ class ExperimentResult:
     duration: float = 0.0
     telemetry: Optional[Dict[str, Any]] = None
     explain: Optional[Dict[str, Any]] = None
+    health: Optional[Dict[str, Any]] = None
 
     # -- derived series --------------------------------------------------
 
@@ -212,6 +216,14 @@ class ExperimentRunner:
             default (:data:`repro.obs.ringbuf.DEFAULT_RING_CAPACITY`).
         instrument: ``False`` runs with no-op telemetry (the bare leg
             of the obs-overhead gate).
+        health_spec: When given, a streaming
+            :class:`repro.obs.health.HealthMonitor` with these SLO
+            thresholds watches the run and its ``mntp-health-report-v1``
+            verdict lands on :attr:`ExperimentResult.health`.
+        on_health: Optional callback invoked with every periodic health
+            evaluation row (``run --watch`` prints these); implies
+            monitoring with the default spec when ``health_spec`` is
+            omitted.
     """
 
     def __init__(
@@ -226,6 +238,8 @@ class ExperimentRunner:
         sample_rate: Optional[int] = None,
         ring_capacity: Optional[int] = None,
         instrument: bool = True,
+        health_spec: Optional[Any] = None,
+        on_health: Optional[Any] = None,
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -241,9 +255,12 @@ class ExperimentRunner:
         self.sample_rate = sample_rate
         self.ring_capacity = ring_capacity
         self.instrument = instrument
+        self.health_spec = health_spec
+        self.on_health = on_health
         self.sim: Optional[Simulator] = None
         self.testbed: Optional[Testbed] = None
         self.mntp: Optional[Mntp] = None
+        self.health_monitor: Optional[Any] = None
 
     def run(self) -> ExperimentResult:
         """Build the testbed, run the protocols, return the series."""
@@ -257,6 +274,7 @@ class ExperimentRunner:
         self.sim, self.testbed = sim, testbed
         result = ExperimentResult(duration=self.duration)
 
+        monitor = self._start_health_monitor(sim)
         if self.run_sntp:
             self._start_sntp_loop(sim, testbed, result)
         if self.mntp_config is not None:
@@ -267,6 +285,12 @@ class ExperimentRunner:
                 # exact rather than interpolated.
                 report.truth = testbed.tn_clock.true_offset()
                 result.mntp_reports.append(report)
+                if monitor is not None and report.accepted:
+                    monitor.observe_exchange(
+                        sim.now, "tn-mntp", True,
+                        offset_s=report.offset,
+                        error_s=report.offset + report.truth,
+                    )
 
             self.mntp = Mntp(
                 sim=sim,
@@ -285,6 +309,11 @@ class ExperimentRunner:
         testbed.stop_background()
         if self.mntp is not None:
             self.mntp.stop()
+        if monitor is not None:
+            # Final evaluation at the horizon (the recurring tick only
+            # fires strictly inside the run), then freeze the verdict.
+            monitor.evaluate(self.duration)
+            result.health = monitor.report()
         # Close spans of work still in flight at the horizon (open
         # exchanges, link transits, interference episodes) so the causal
         # assembler sees every tree the run started.
@@ -293,6 +322,31 @@ class ExperimentRunner:
         return result
 
     # -- loops -----------------------------------------------------------------
+
+    def _start_health_monitor(self, sim: Simulator):
+        """Attach a streaming health monitor when the run asked for one."""
+        if self.health_spec is None and self.on_health is None:
+            return None
+        from repro.obs.health import HealthMonitor
+
+        monitor = HealthMonitor(
+            spec=self.health_spec, telemetry=sim.telemetry
+        )
+        self.health_monitor = monitor
+        sim.health = monitor  # fault injectors notify episode windows
+        interval = monitor.spec.eval_interval_s
+        on_health = self.on_health
+
+        def tick() -> None:
+            if sim.now >= self.duration:
+                return
+            row = monitor.evaluate(sim.now)
+            if on_health is not None:
+                on_health(row)
+            sim.call_after(interval, tick, label="health:tick")
+
+        sim.call_after(interval, tick, label="health:tick")
+        return monitor
 
     def _start_sntp_loop(
         self, sim: Simulator, testbed: Testbed, result: ExperimentResult
@@ -305,6 +359,8 @@ class ExperimentRunner:
             "SNTP queries with no usable response (timeout or KoD)",
         )
 
+        monitor = self.health_monitor
+
         def poll() -> None:
             if sim.now >= self.duration:
                 return
@@ -312,16 +368,21 @@ class ExperimentRunner:
             def on_result(res: SntpResult) -> None:
                 if res.ok:
                     assert res.sample is not None
+                    truth = testbed.tn_clock.true_offset()
                     result.sntp.append(
-                        OffsetPoint(
-                            sim.now,
-                            res.sample.offset,
-                            testbed.tn_clock.true_offset(),
-                        )
+                        OffsetPoint(sim.now, res.sample.offset, truth)
                     )
+                    if monitor is not None:
+                        monitor.observe_exchange(
+                            sim.now, "tn-sntp", True,
+                            offset_s=res.sample.offset,
+                            error_s=res.sample.offset + truth,
+                        )
                 else:
                     result.sntp_failures += 1
                     failures.inc()
+                    if monitor is not None:
+                        monitor.observe_exchange(sim.now, "tn-sntp", False)
 
             queries.inc()
             testbed.sntp_app.query("0.pool.ntp.org", on_result)

@@ -44,6 +44,8 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
         out["explain"] = explain_run(
             result.telemetry, samples=result.offset_samples()
         ).to_dict(worst_n=_EXPLAIN_WORST_N)
+    if result.health is not None:
+        out["health"] = result.health
     return out
 
 
@@ -60,6 +62,7 @@ def result_from_dict(data: Dict[str, Any]) -> ExperimentResult:
     result.mntp_reports = [_report_from(d) for d in data.get("mntp_reports", [])]
     result.telemetry = data.get("telemetry")
     result.explain = data.get("explain")
+    result.health = data.get("health")
     return result
 
 

@@ -171,6 +171,8 @@ def run_scenario(
     seed: int = 0,
     sample_rate: Optional[int] = None,
     ring_capacity: Optional[int] = None,
+    health_spec=None,
+    on_health=None,
 ) -> ExperimentResult:
     """Run a named scenario and return its result.
 
@@ -180,6 +182,11 @@ def run_scenario(
         sample_rate: Optional 1-in-N trace sampling (see
             :mod:`repro.obs.sampling`).
         ring_capacity: Optional telemetry ring-buffer size override.
+        health_spec: Optional :class:`repro.obs.health.SloSpec`; attaches
+            a streaming health monitor whose verdict lands on the
+            result's ``health`` field.
+        on_health: Optional per-evaluation callback (``run --watch``);
+            implies monitoring with the default spec.
     """
     scenario = SCENARIOS[name]
     runner = ExperimentRunner(
@@ -195,5 +202,7 @@ def run_scenario(
         ),
         sample_rate=sample_rate,
         ring_capacity=ring_capacity,
+        health_spec=health_spec,
+        on_health=on_health,
     )
     return runner.run()

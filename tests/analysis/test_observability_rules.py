@@ -131,3 +131,75 @@ def test_noqa_suppresses_obs002():
         "# repro: noqa[OBS002] migration shim\n"
     )
     assert rules_for(src, "repro.core.protocol") == []
+
+
+# -- OBS004: SLO thresholds must be SloSpec fields ------------------------
+
+
+HEALTH_IMPORT = "from repro.obs.health import HealthMonitor\n"
+
+
+def obs004_for(src, module):
+    # The import line itself may trip unrelated rules (e.g. COR004
+    # unused-import in these minimal fixtures); isolate OBS004.
+    return [f for f in check_source(src, module=module) if f.rule == "OBS004"]
+
+
+def test_slo_literal_flagged_in_health_module():
+    src = "def judge(p99_abs_error_ms):\n    return p99_abs_error_ms > 200.0\n"
+    assert rules_for(src, "repro.obs.health") == ["OBS004"]
+
+
+def test_slo_literal_flagged_in_health_importer():
+    src = HEALTH_IMPORT + "def f(drop_rate_ratio):\n    return drop_rate_ratio >= 0.5\n"
+    assert [f.rule for f in obs004_for(src, "repro.testbed.experiment")] == ["OBS004"]
+
+
+def test_slo_literal_flagged_via_obs_facade_import():
+    src = (
+        "from repro.obs import SloSpec\n"
+        "def f(starvation_s):\n    return 600.0 < starvation_s\n"
+    )
+    assert [f.rule for f in obs004_for(src, "repro.cli")] == ["OBS004"]
+
+
+def test_obs004_out_of_scope_without_health_import():
+    src = "def f(timeout_s):\n    return timeout_s > 30.0\n"
+    assert obs004_for(src, "repro.net.link") == []
+    assert obs004_for(HEALTH_IMPORT + src, "scripts.bench") == []
+
+
+def test_obs004_exempts_structural_constants():
+    src = HEALTH_IMPORT + (
+        "def f(window_s, rate_per_s):\n"
+        "    return window_s > 0 and rate_per_s >= 1 and window_s != -1\n"
+    )
+    assert obs004_for(src, "repro.obs.diff") == []
+
+
+def test_obs004_spec_field_comparison_passes():
+    src = HEALTH_IMPORT + (
+        "def f(spec, p99_abs_error_ms):\n"
+        "    return p99_abs_error_ms >= spec.p99_abs_error_violate_ms\n"
+    )
+    assert obs004_for(src, "repro.testbed.experiment") == []
+
+
+def test_obs004_ignores_unsuffixed_names():
+    src = HEALTH_IMPORT + "def f(count):\n    return count > 5\n"
+    assert obs004_for(src, "repro.obs.health") == []
+
+
+def test_obs004_negative_and_chained_literals():
+    src = HEALTH_IMPORT + "def f(skew_ms):\n    return -50.0 < skew_ms < 50.0\n"
+    findings = obs004_for(src, "repro.core.protocol")
+    assert [f.rule for f in findings] == ["OBS004", "OBS004"]
+    assert "'skew_ms'" in findings[0].message
+
+
+def test_noqa_suppresses_obs004():
+    src = HEALTH_IMPORT + (
+        "def f(age_s):\n"
+        "    return age_s > 3.5  # repro: noqa[OBS004] parser sentinel\n"
+    )
+    assert obs004_for(src, "repro.obs.health") == []

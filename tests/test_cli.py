@@ -412,3 +412,119 @@ def test_sharddemo_argument_validation(capsys):
     assert "--shards >= 1" in capsys.readouterr().err
     assert main(["sharddemo", "--shards", "5", "--exchanges", "3"]) == 2
     assert "--exchanges" in capsys.readouterr().err
+
+
+def test_metrics_merge_single_shard_is_byte_identity(tmp_path, capsys):
+    import io
+    import json
+
+    from repro.obs import Telemetry, make_shard, write_jsonl
+
+    telemetry = Telemetry.standalone()
+    telemetry.metrics.counter("q_total").inc(4)
+    telemetry.trace.emit(1.0, "mntp", "tick", i=1)
+    snapshot = telemetry.snapshot()
+    # Unknown snapshot keys must survive the single-shard pass-through.
+    snapshot["future_extension"] = {"x": 1}
+    shard = tmp_path / "only.json"
+    shard.write_text(json.dumps(make_shard(snapshot, "only")))
+    out = tmp_path / "merged.jsonl"
+    assert main(["metrics", "--merge", str(shard), "--out", str(out)]) == 0
+    capsys.readouterr()
+    direct = io.StringIO()
+    write_jsonl(snapshot, direct)
+    assert out.read_text() == direct.getvalue()
+
+
+def test_health_smoke_gate(capsys):
+    assert main(["health", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: pass" in out
+    assert "health smoke:" in out and "-> OK" in out
+
+
+def test_health_archived_run_and_slo_spec(tmp_path, capsys):
+    from repro.obs import SloSpec
+
+    path = tmp_path / "run.json"
+    assert main(["--seed", "4", "run", "wired_corrected",
+                 "--save", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["health", str(path)]) == 0
+    assert "verdict:" in capsys.readouterr().out
+    # An impossible spec makes the same archive fail the gate.
+    strict = tmp_path / "strict.json"
+    strict.write_text(SloSpec(
+        p99_abs_error_warn_ms=0.0001, p99_abs_error_violate_ms=0.0002,
+        min_samples=1,
+    ).to_json())
+    assert main(["health", str(path), "--slo", str(strict), "--json"]) == 1
+    import json
+
+    report = json.loads(capsys.readouterr().out)
+    assert report["format"] == "mntp-health-report-v1"
+    assert report["verdict"] == "violated"
+
+
+def test_health_argument_validation(tmp_path, capsys):
+    assert main(["health"]) == 2
+    assert "--smoke" in capsys.readouterr().err
+    assert main(["health", str(tmp_path / "missing.json")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    bad_spec = tmp_path / "spec.json"
+    bad_spec.write_text('{"p99_err_ms": 1}')
+    assert main(["health", "--smoke", "--slo", str(bad_spec)]) == 2
+    assert "unknown SloSpec fields" in capsys.readouterr().err
+
+
+def test_diff_same_seed_is_identical(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    for path in (a, b):
+        assert main(["--seed", "9", "run", "wired_corrected",
+                     "--save", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(a), str(b)]) == 0
+    assert "snapshots are identical" in capsys.readouterr().out
+
+
+def test_diff_reports_suspects_between_seeds(tmp_path, capsys):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["--seed", "9", "run", "wired_corrected", "--save", str(a)]) == 0
+    assert main(["--seed", "10", "run", "wired_corrected", "--save", str(b)]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(a), str(b), "--top", "3"]) == 1
+    assert "suspects" in capsys.readouterr().out
+    assert main(["diff", str(a), str(b), "--json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["format"] == "mntp-telemetry-diff-v1"
+    assert document["identical"] is False
+
+
+def test_diff_argument_validation(tmp_path, capsys):
+    assert main(["diff", str(tmp_path / "nope.json"),
+                 str(tmp_path / "nope2.json")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "mystery-v9"}')
+    ok = tmp_path / "ok.json"
+    assert main(["--seed", "2", "run", "wired_corrected",
+                 "--save", str(ok)]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(bad), str(ok)]) == 2
+    assert "mystery-v9" in capsys.readouterr().err
+
+
+def test_run_watch_prints_health_lines(capsys):
+    assert main(["--seed", "2", "run", "wired_corrected", "--watch"]) == 0
+    out = capsys.readouterr().out
+    assert "health t=" in out
+    assert "p99|err|=" in out
+
+
+def test_run_slo_requires_watch(capsys):
+    assert main(["run", "wired_corrected", "--slo", "spec.json"]) == 2
+    assert "--slo only applies with --watch" in capsys.readouterr().err

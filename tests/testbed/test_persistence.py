@@ -117,3 +117,32 @@ def test_save_embeds_explain_report(result):
         loaded.telemetry, samples=loaded.offset_samples()
     ).to_dict(worst_n=5)
     assert fresh == explain
+
+
+def test_roundtrip_preserves_health_report():
+    from repro.obs import SloSpec
+
+    monitored = ExperimentRunner(
+        seed=1,
+        options=TestbedOptions(wireless=True, ntp_correction=False),
+        duration=300.0,
+        mntp_config=MntpConfig.baseline_headtohead(),
+        health_spec=SloSpec(),
+    ).run()
+    assert monitored.health is not None
+    buf = io.StringIO()
+    save_result(monitored, buf)
+    buf.seek(0)
+    loaded = load_result(buf)
+    assert loaded.health == monitored.health
+    # An unmonitored result round-trips health as None.
+    assert result_from_dict(
+        result_to_dict(
+            ExperimentRunner(
+                seed=1,
+                options=TestbedOptions(wireless=True, ntp_correction=False),
+                duration=300.0,
+                mntp_config=MntpConfig.baseline_headtohead(),
+            ).run()
+        )
+    ).health is None
