@@ -9,7 +9,16 @@ recorded baseline (``benchmarks/bench-baseline.json``)::
 
     python scripts/bench.py                  # full suite
     python scripts/bench.py --smoke          # fast subset (CI gate)
+    python scripts/bench.py --matrix scenarios   # smoke matrix timing
     python scripts/bench.py --update-baseline
+
+``--matrix DIR`` times the scenario-matrix smoke tier instead of the
+pytest benches: the smoke-tagged specs under ``DIR`` run through
+``repro.testbed.run_matrix`` and the wall time plus throughput
+(``specs_per_min``) land in the trajectory as a ``"mode": "matrix"``
+run, so matrix cost is tracked across commits alongside the bench
+suite.  The exit code follows the matrix verdict — any hard-failed
+spec is exit 1.
 
 ``BENCH_obs.json`` keeps the trailing history (run number, mode,
 per-bench seconds, per-run ``wall_seconds``) so performance can be
@@ -87,6 +96,9 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="run only the fast smoke subset")
+    parser.add_argument("--matrix", type=Path, default=None, metavar="DIR",
+                        help="time the smoke-tagged scenario matrix under "
+                        "DIR instead of the bench suite")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help="cumulative trajectory to append to "
                         "(BENCH_obs.json)")
@@ -173,6 +185,7 @@ def _append_trajectory(
     measured: Dict[str, float],
     throughput: Dict[str, Dict[str, float]],
     mode: str,
+    extra: Optional[Dict[str, object]] = None,
 ) -> Tuple[int, List[Dict[str, object]]]:
     """Append one run to the cumulative trajectory.
 
@@ -185,6 +198,8 @@ def _append_trajectory(
     stored trajectory is pruned to the last
     :data:`TRAJECTORY_KEEP_PER_MODE` runs per mode (run numbers keep
     counting up), which caps unbounded pre-existing files too.
+    ``extra`` keys merge into the run entry verbatim — the matrix mode
+    uses it to record spec counts and throughput next to the timing.
     """
     runs: List[Dict[str, object]] = []
     if path.exists():
@@ -229,6 +244,8 @@ def _append_trajectory(
             for name, inputs in sorted(throughput.items())
             if name in measured
         }
+    if extra:
+        entry.update(extra)
     runs.append(entry)
     runs = _prune_runs(runs)
     with open(path, "w") as f:
@@ -445,9 +462,64 @@ def _compare(
     return failures
 
 
+def _run_matrix_mode(args: argparse.Namespace) -> int:
+    """Time the smoke-tier scenario matrix and append a trajectory run.
+
+    Runs the smoke-tagged specs under ``--matrix DIR`` through the
+    fault-tolerant matrix runner, records the wall time (and derived
+    ``specs_per_min``) as a ``"mode": "matrix"`` trajectory run, and
+    mirrors the matrix verdict in the exit code so the CI gate can
+    lean on this one invocation for both timing and correctness.
+    """
+    import time
+
+    from repro.testbed import MatrixOptions, run_matrix
+
+    directory = args.matrix
+    if not directory.is_dir():
+        print(f"--matrix: {directory} is not a directory", file=sys.stderr)
+        return 2
+    options = MatrixOptions(tags=("smoke",))
+    started = time.monotonic()
+    try:
+        report = run_matrix(str(directory), options)
+    except ValueError as exc:
+        print(f"--matrix: {exc}", file=sys.stderr)
+        return 2
+    wall = time.monotonic() - started
+    spec_count = len(report["specs"])
+    if spec_count == 0:
+        print(f"--matrix: no smoke-tagged specs under {directory}",
+              file=sys.stderr)
+        return 2
+    specs_per_min = round(spec_count / wall * 60.0, 3) if wall > 0 else 0.0
+    measured = {"matrix_smoke": wall}
+    extra: Dict[str, object] = {
+        "matrix": {
+            "specs": spec_count,
+            "specs_per_min": specs_per_min,
+            "counts": report["counts"],
+        },
+    }
+    number, _priors = _append_trajectory(
+        args.out, measured, {}, "matrix", extra=extra
+    )
+    print(f"run {number} appended to trajectory {args.out}")
+    print(f"  matrix_smoke: {wall:.2f}s for {spec_count} spec(s) "
+          f"({specs_per_min} specs/min)")
+    if not report["verdict"]["ok"]:
+        for name in report["verdict"]["hard_failed"]:
+            print(f"MATRIX FAIL {name}", file=sys.stderr)
+        return 1
+    print("matrix verdict ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _parse_args(argv)
+    if args.matrix is not None:
+        return _run_matrix_mode(args)
     if args.smoke:
         targets = [str(BENCH_DIR / name) for name in SMOKE_BENCHES]
         missing = [t for t in targets if not Path(t).exists()]

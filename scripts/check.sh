@@ -70,10 +70,14 @@ if [[ "${1:-}" != "--fast" ]]; then
     # the full telemetry stack costs more than 15%.
     python scripts/obs_overhead.py
 
-    echo "== chaos gate (smoke fault matrix)"
-    # Exit 1 if hardened MNTP fails to recover from any smoke-matrix
-    # episode; see docs/ROBUSTNESS.md.
-    python -m repro.cli chaos --smoke --json > /dev/null
+    echo "== scenario matrix gate (smoke tier)"
+    # Runs the smoke-tagged specs under scenarios/ through the
+    # fault-tolerant matrix runner (chaos smoke matrix + wired
+    # baseline), judges each against its embedded SloSpec guarantees,
+    # and appends a "mode": "matrix" timing run (wall time, specs/min)
+    # to the BENCH_obs.json trajectory.  Exit 1 on any hard-failed
+    # spec; see docs/SCENARIOS.md.
+    python scripts/bench.py --matrix scenarios
 
     echo "== profile harness (smoke)"
     # Writes benchmarks/profile-smoke.json (git-ignored) and appends a

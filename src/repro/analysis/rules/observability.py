@@ -211,14 +211,14 @@ SLO_UNIT_SUFFIXES = (
 )
 
 
-def _numeric_literal(node: ast.expr) -> Optional[float]:
+def numeric_literal(node: ast.expr) -> Optional[float]:
     """The value of a numeric literal expression, else None.
 
     Handles a leading unary minus (``-5.0`` parses as ``USub`` over a
     constant); bools are constants too but are never thresholds.
     """
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-        inner = _numeric_literal(node.operand)
+        inner = numeric_literal(node.operand)
         return None if inner is None else -inner
     if isinstance(node, ast.Constant) and not isinstance(node.value, bool) \
             and isinstance(node.value, (int, float)):
@@ -226,7 +226,7 @@ def _numeric_literal(node: ast.expr) -> Optional[float]:
     return None
 
 
-def _unit_suffixed_name(node: ast.expr) -> Optional[str]:
+def unit_suffixed_name(node: ast.expr) -> Optional[str]:
     """The identifier carried by ``node`` when it has a unit suffix."""
     if isinstance(node, ast.Attribute):
         name = node.attr
@@ -288,10 +288,10 @@ class SloLiteralRule(Rule):
         sides = [node.left, *node.comparators]
         for left, right in zip(sides, sides[1:]):
             for literal_node, other in ((left, right), (right, left)):
-                value = _numeric_literal(literal_node)
+                value = numeric_literal(literal_node)
                 if value is None or value in self._EXEMPT:
                     continue
-                name = _unit_suffixed_name(other)
+                name = unit_suffixed_name(other)
                 if name is None:
                     continue
                 self.report(

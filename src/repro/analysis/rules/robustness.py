@@ -11,6 +11,16 @@ server-death fault the caller hangs forever.  Both patterns are exactly
 the ones the fault-injection matrix (:mod:`repro.faults`) exists to
 flush out, so ROB001 keeps them from entering the library in the first
 place.
+
+Guarantee thresholds are the scenario DSL's version of the same
+contract.  A scenario's pass/fail bar belongs in its embedded
+:class:`~repro.obs.health.SloSpec` guarantees block (or a
+unit-suffixed :class:`~repro.testbed.specs.ScenarioSpec` field), where
+it is declared once, validated, JSON-round-tripped, and archived with
+the matrix verdict.  A numeric literal compared against a
+unit-suffixed quantity inside scenario-wiring code is a guarantee that
+escaped the spec — :class:`ScenarioThresholdRule` (ROB002) extends the
+OBS004 machinery to keep scenario modules threshold-free.
 """
 
 from __future__ import annotations
@@ -20,6 +30,10 @@ from typing import List, Optional
 
 from repro.analysis.engine import Finding, Rule
 from repro.analysis.rules import register
+from repro.analysis.rules.observability import (
+    numeric_literal,
+    unit_suffixed_name,
+)
 
 #: Keyword arguments naming a bounded wait; a non-positive literal
 #: makes the wait degenerate (never fires or busy-spins).
@@ -85,5 +99,95 @@ class BareExceptRule(Rule):
                     f"literal {keyword.arg}={value:g} never expires (or "
                     "spins); waits in library code must be positive and "
                     "bounded",
+                )
+        self.generic_visit(node)
+
+
+#: Modules that *are* scenario-wiring code, always in ROB002 scope.
+_SCENARIO_MODULES = frozenset({
+    "repro.testbed.scenarios",
+    "repro.testbed.specs",
+    "repro.testbed.matrix",
+})
+
+#: Scenario/spec names whose import (directly or via the
+#: ``repro.testbed`` facade) marks the importer as scenario-wiring
+#: code and puts it in ROB002 scope.
+_SCENARIO_IMPORT_NAMES = frozenset({
+    "Scenario", "SCENARIOS", "run_scenario",
+    "ScenarioSpec", "TopologySpec", "spec_for_scenario",
+    "chaos_matrix_spec", "default_specs", "write_default_specs",
+    "load_spec", "load_spec_dir", "save_spec", "run_spec",
+    "MatrixOptions", "run_matrix",
+})
+
+
+@register
+class ScenarioThresholdRule(Rule):
+    """Guarantee thresholds must live in the spec, not scenario code.
+
+    Flags numeric literals (other than the structural constants 0, 1
+    and -1) compared against a unit-suffixed name — ``duration_s``,
+    ``p99_abs_error_ms``, ``drop_rate_ratio`` — inside scenario-wiring
+    code.  Such a comparison hard-codes a pass/fail bar the scenario
+    DSL exists to declare: it belongs in the spec's embedded
+    :class:`~repro.obs.health.SloSpec` guarantees block (judged by the
+    matrix runner and archived with the verdict) or a validated
+    unit-suffixed :class:`~repro.testbed.specs.ScenarioSpec` field.
+    """
+
+    rule_id = "ROB002"
+    summary = (
+        "scenario/spec modules must not hard-code guarantee thresholds; "
+        "a numeric literal compared against a unit-suffixed name "
+        "belongs in an SloSpec guarantees block or a ScenarioSpec field"
+    )
+
+    #: Structural constants (empty/disabled/sign checks), never bars.
+    _EXEMPT = frozenset({0, 1, -1})
+
+    def run(self) -> List[Finding]:
+        """Scope: the scenario/spec/matrix modules plus any repro
+        module importing scenario machinery from them."""
+        if len(self.module.module) < 2 or self.module.module[0] != "repro":
+            return []
+        if self.module.dotted() not in _SCENARIO_MODULES \
+                and not self._imports_scenarios():
+            return []
+        return super().run()
+
+    def _imports_scenarios(self) -> bool:
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in _SCENARIO_MODULES:
+                    return True
+                if node.module == "repro.testbed" and any(
+                    alias.name in _SCENARIO_IMPORT_NAMES
+                    for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(alias.name in _SCENARIO_MODULES
+                       for alias in node.names):
+                    return True
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Flag literal-vs-unit-suffixed-name comparison operands."""
+        sides = [node.left, *node.comparators]
+        for left, right in zip(sides, sides[1:]):
+            for literal_node, other in ((left, right), (right, left)):
+                value = numeric_literal(literal_node)
+                if value is None or value in self._EXEMPT:
+                    continue
+                name = unit_suffixed_name(other)
+                if name is None:
+                    continue
+                self.report(
+                    literal_node,
+                    f"guarantee threshold literal {value!r} compared "
+                    f"against '{name}' in scenario code; declare it in "
+                    "the spec's SloSpec guarantees block or a "
+                    "unit-suffixed ScenarioSpec field",
                 )
         self.generic_visit(node)

@@ -17,6 +17,7 @@ Exposes the main experiment flows without writing code::
     repro-mntp metrics --merge a.json b.json # merge shard telemetry
     repro-mntp sharddemo --shards 4          # process-pool shard demo
     repro-mntp chaos --smoke                 # fault-matrix survival run
+    repro-mntp matrix scenarios --smoke      # spec-file guarantee matrix
     repro-mntp lint src                      # domain static analysis
     repro-mntp profile --smoke               # hot-path profile artifact
 
@@ -28,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -80,8 +82,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="attach the streaming health monitor and print "
                      "one line per SLO evaluation during the run")
     run.add_argument("--slo", metavar="PATH", default=None,
-                     help="SloSpec JSON for --watch (default thresholds "
-                     "otherwise)")
+                     help="SloSpec JSON to judge the run against (attaches "
+                     "the health monitor even without --watch; the verdict "
+                     "lands in the summary and a violated run exits 1)")
 
     replay = sub.add_parser("replay", help="summarise an archived run")
     replay.add_argument("path", help="JSON file written by 'run --save'")
@@ -241,6 +244,40 @@ def _build_parser() -> argparse.ArgumentParser:
     autotune.add_argument("--telemetry", metavar="PATH",
                           help="export tuning telemetry as JSONL")
 
+    matrix = sub.add_parser(
+        "matrix",
+        help="execute a directory of scenario-spec JSON files across a "
+        "fault-tolerant worker pool and print the aggregated "
+        "mntp-matrix-report-v1 verdict (see docs/SCENARIOS.md)",
+    )
+    matrix.add_argument("directory",
+                        help="directory of ScenarioSpec JSON files "
+                        "(e.g. scenarios/)")
+    matrix.add_argument("--jobs", type=int, default=2,
+                        help="worker processes running concurrently "
+                        "(default 2; the report is byte-identical for "
+                        "any value)")
+    matrix.add_argument("--timeout-s", dest="timeout_s", type=float,
+                        default=600.0,
+                        help="per-spec deadline in wall seconds; a hung "
+                        "worker is terminated and its spec marked "
+                        "timeout (default 600)")
+    matrix.add_argument("--retries", type=int, default=1,
+                        help="extra attempts after a crashed/timeout/"
+                        "error outcome (default 1)")
+    matrix.add_argument("--smoke", action="store_true",
+                        help="only run specs tagged 'smoke' (the CI gate "
+                        "tier)")
+    matrix.add_argument("--serial", action="store_true",
+                        help="run specs in-process instead of worker "
+                        "processes (degraded mode: timeouts and crash "
+                        "isolation unenforced)")
+    matrix.add_argument("--save", metavar="PATH",
+                        help="write the aggregated report JSON to a file")
+    matrix.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of the "
+                        "table")
+
     chaos = sub.add_parser(
         "chaos",
         help="run the fault-injection matrix: plain SNTP vs hardened "
@@ -351,6 +388,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_calibrate(args)
     if command == "chaos":
         return _cmd_chaos(args)
+    if command == "matrix":
+        return _cmd_matrix(args)
     if command == "lint":
         return run_lint(args)
     if command == "profile":
@@ -373,9 +412,8 @@ def _cmd_run(args) -> int:
     watch = getattr(args, "watch", False)
     health_spec = None
     if getattr(args, "slo", None):
-        if not watch:
-            print("--slo only applies with --watch", file=sys.stderr)
-            return 2
+        # --slo attaches the monitor on its own; --watch only adds the
+        # per-evaluation lines.
         health_spec = _load_slo_spec(args.slo)
         if health_spec is None:
             return 2
@@ -399,13 +437,18 @@ def _cmd_run(args) -> int:
         print(f"result archived to {args.save}")
     if getattr(args, "telemetry", None):
         _write_telemetry(result.telemetry, args.telemetry)
-    if watch and result.health is not None:
-        print(f"health verdict: {result.health['verdict']} "
-              f"(final state: {result.health['state']})")
+    # A monitored run that ends violated is a failed run: rc 1 so
+    # scripted callers (and CI) see the verdict without parsing output.
+    rc = 1 if (result.health is not None
+               and result.health["verdict"] == "violated") else 0
     if getattr(args, "json", False):
         print(json.dumps(_summary_dict(result), sort_keys=True, indent=2))
-        return 0
-    return _summarise(result)
+        return rc
+    if result.health is not None:
+        print(f"health verdict: {result.health['verdict']} "
+              f"(final state: {result.health['state']})")
+    _summarise(result)
+    return rc
 
 
 def _load_slo_spec(path: str):
@@ -490,6 +533,8 @@ def _summary_dict(result) -> Dict[str, Any]:
             "span_kinds": snapshot_span_kinds(result.telemetry),
             "record_count": len(result.telemetry.get("records", [])),
         }
+    if result.health is not None:
+        out["health"] = result.health
     return out
 
 
@@ -973,6 +1018,46 @@ def _cmd_calibrate(args) -> int:
     print("calibration OUT OF BAND — see DESIGN.md §2 before trusting "
           "figure benches")
     return 1
+
+
+def _cmd_matrix(args) -> int:
+    from repro.testbed.matrix import (
+        MatrixOptions,
+        render_matrix_text,
+        report_to_json,
+        run_matrix,
+    )
+
+    if not os.path.isdir(args.directory):
+        print(f"{args.directory} is not a directory", file=sys.stderr)
+        return 2
+    try:
+        options = MatrixOptions(
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+            tags=("smoke",) if args.smoke else (),
+            serial=args.serial,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_matrix(args.directory, options)
+    if not report["specs"]:
+        print(f"no scenario specs selected in {args.directory}",
+              file=sys.stderr)
+        return 2
+    if getattr(args, "save", None):
+        with open(args.save, "w") as f:
+            f.write(report_to_json(report))
+        if not args.json:
+            print(f"matrix report written to {args.save}")
+    if args.json:
+        print(report_to_json(report), end="")
+    else:
+        print(render_matrix_text(report))
+    return 0 if report["verdict"]["ok"] else 1
 
 
 def _cmd_chaos(args) -> int:

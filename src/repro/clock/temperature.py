@@ -17,6 +17,22 @@ class TemperatureProfile(ABC):
     def at(self, time: float) -> float:
         """Temperature at virtual ``time``."""
 
+    def __eq__(self, other: object) -> bool:
+        """Profiles are equal when type and parameters match.
+
+        Profiles are pure functions of virtual time, fully described by
+        their constructor parameters, so structural equality is exact
+        behavioural equality — what scenario-spec round-trip checks
+        rely on.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        """Hash consistently with :meth:`__eq__`."""
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
 
 class ConstantTemperature(TemperatureProfile):
     """Fixed ambient temperature — the paper's 'same ambient temperature'

@@ -15,6 +15,19 @@ from repro.testbed.scenarios import (
     Scenario,
     run_scenario,
 )
+from repro.testbed.specs import (
+    ScenarioSpec,
+    TopologySpec,
+    chaos_matrix_spec,
+    default_specs,
+    load_spec,
+    load_spec_dir,
+    run_spec,
+    save_spec,
+    spec_for_scenario,
+    write_default_specs,
+)
+from repro.testbed.matrix import MatrixOptions, run_matrix
 from repro.testbed.calibration import CalibrationReport, run_calibration
 from repro.testbed.persistence import load_result, save_result
 
@@ -31,6 +44,18 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "run_scenario",
+    "ScenarioSpec",
+    "TopologySpec",
+    "chaos_matrix_spec",
+    "default_specs",
+    "load_spec",
+    "load_spec_dir",
+    "run_spec",
+    "save_spec",
+    "spec_for_scenario",
+    "write_default_specs",
+    "MatrixOptions",
+    "run_matrix",
     "CalibrationReport",
     "run_calibration",
     "load_result",

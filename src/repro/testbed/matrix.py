@@ -1,0 +1,489 @@
+"""Fault-tolerant matrix runner over a directory of scenario specs.
+
+Executes every :class:`~repro.testbed.specs.ScenarioSpec` JSON file in
+a directory, each in its own worker process, and aggregates the
+per-spec Success/Minimal-tier judgements into one deterministic
+``mntp-matrix-report-v1`` document.
+
+The runner is built to survive hostile specs — attack-style scenarios
+deliberately starve clients, and a worker that dies or hangs must cost
+exactly one spec, never the matrix:
+
+* **Isolation** — one ``multiprocessing.Process`` per spec attempt
+  with a one-way pipe back; a worker that exits without reporting
+  marks its spec ``crashed`` and the matrix continues.
+* **Timeouts** — a worker that stays silent past the per-spec deadline
+  is terminated and its spec marked ``timeout``.
+* **Bounded retry** — ``crashed``/``timeout``/``error`` outcomes are
+  retried up to ``retries`` times with deterministic exponential
+  backoff; guarantee failures (``failed``) are final, since the
+  simulation is deterministic per seed.
+* **Graceful degradation** — when worker processes cannot be spawned
+  at all (sandboxes, restricted environments), the affected spec runs
+  serially in-process; ``MatrixOptions(serial=True)`` forces that mode
+  (timeouts and crash isolation are then unenforceable).
+
+Determinism: the report never mentions worker counts, wall-clock
+times, or completion order — per-spec entries are sorted by name,
+worst-case tables break ties lexicographically, and telemetry shards
+go through the canonical order-independent merge of
+:mod:`repro.obs.merge` — so ``--jobs 1`` and ``--jobs 4`` produce
+byte-identical reports for the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.merge import make_shard, merge_documents
+from repro.testbed.specs import ScenarioSpec, load_spec, run_spec
+
+#: Format tag of the aggregated report document.
+MATRIX_FORMAT = "mntp-matrix-report-v1"
+
+#: Statuses that are retried (transient/runner-side); guarantee
+#: failures are deterministic and final.
+RETRYABLE_STATUSES = frozenset({"crashed", "timeout", "error"})
+
+#: Statuses that hard-fail the matrix (rc 1 in the CLI/CI gate).
+HARD_FAIL_STATUSES = frozenset(
+    {"failed", "crashed", "timeout", "error", "invalid"}
+)
+
+#: A worker callable: (spec JSON, seed, attempt) -> outcome payload.
+Worker = Callable[[str, int, int], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class MatrixOptions:
+    """Matrix execution knobs.
+
+    Attributes:
+        seed: Root seed passed to every spec run.
+        jobs: Worker processes running concurrently.
+        timeout_s: Per-spec deadline; a silent worker past it is
+            terminated and the spec marked ``timeout``.
+        retries: Extra attempts after a retryable outcome.
+        backoff_s: Base of the deterministic exponential backoff
+            between attempts (``backoff_s * 2**attempt``).
+        tags: When non-empty, only specs carrying every listed tag run
+            (the CLI's ``--smoke`` is ``tags=("smoke",)``).
+        serial: Run specs in-process instead of worker processes
+            (degraded mode: timeouts and crash isolation unenforced).
+    """
+
+    seed: int = 0
+    jobs: int = 2
+    timeout_s: float = 600.0
+    retries: int = 1
+    backoff_s: float = 0.05
+    tags: Tuple[str, ...] = ()
+    serial: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate the knob ranges."""
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+
+
+def _execute_spec(spec_json: str, seed: int, attempt: int) -> Dict[str, Any]:
+    """Default worker: run one spec and return its judged outcome.
+
+    Module-level so it pickles under any multiprocessing start method;
+    tests swap in scripted workers to exercise the failure paths.
+    """
+    spec = ScenarioSpec.from_json(spec_json)
+    result, judgement = run_spec(spec, seed=seed)
+    stats = result.sntp_error_stats()
+    summary: Dict[str, Any] = {
+        "duration_s": result.duration,
+        "sntp_samples": stats.count,
+        "sntp_mean_abs_error_ms": round(stats.mean_abs * 1000.0, 3),
+        "sntp_failures": result.sntp_failures,
+    }
+    if result.mntp_reports:
+        mntp = result.mntp_error_stats()
+        summary["mntp_reports"] = len(result.mntp_reports)
+        summary["mntp_mean_abs_error_ms"] = round(mntp.mean_abs * 1000.0, 3)
+    shard = None
+    if result.telemetry is not None:
+        shard = make_shard(result.telemetry, spec.name, meta={"seed": seed})
+    return {
+        "name": spec.name,
+        "status": judgement["status"],
+        "guarantees": judgement["guarantees"],
+        "minimal_guarantees": judgement["minimal_guarantees"],
+        "summary": summary,
+        "shard": shard,
+    }
+
+
+def _worker_main(
+    conn: Any, worker: Worker, spec_json: str, seed: int, attempt: int
+) -> None:
+    """Child-process entry: run the worker, ship the outcome, exit.
+
+    Any exception is reported as an ``error`` message rather than a
+    traceback on stderr, so the parent owns the retry decision.
+    """
+    try:
+        outcome = worker(spec_json, seed, attempt)
+        conn.send(("ok", outcome))
+    except Exception as exc:  # any spec failure must reach the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def _entry(
+    name: str,
+    status: str,
+    attempts: int,
+    error: Optional[str] = None,
+    outcome: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One per-spec report entry (fixed key set for determinism)."""
+    outcome = outcome or {}
+    return {
+        "name": name,
+        "status": status,
+        "attempts": attempts,
+        "error": error,
+        "guarantees": outcome.get("guarantees"),
+        "minimal_guarantees": outcome.get("minimal_guarantees"),
+        "summary": outcome.get("summary"),
+        # Carried to aggregation, then lifted out of the per-spec entry
+        # into the canonical telemetry merge.
+        "shard": outcome.get("shard"),
+    }
+
+
+def discover_specs(
+    directory: str, tags: Tuple[str, ...] = ()
+) -> Tuple[List[ScenarioSpec], List[Dict[str, Any]]]:
+    """Load a spec directory fault-tolerantly.
+
+    Returns (runnable specs sorted by name, ``invalid`` report entries
+    for files that failed to load or collide on a name).  A broken
+    file costs itself, never the directory — and it still hard-fails
+    the matrix verdict, so CI catches it.
+    """
+    from repro.testbed.specs import iter_spec_files
+
+    specs: Dict[str, ScenarioSpec] = {}
+    first_file: Dict[str, str] = {}
+    invalid: List[Dict[str, Any]] = []
+    for path in iter_spec_files(directory):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        try:
+            spec = load_spec(path)
+        except ValueError as exc:
+            invalid.append(_entry(stem, "invalid", 0, error=str(exc)))
+            continue
+        if spec.name in specs:
+            invalid.append(_entry(
+                stem, "invalid", 0,
+                error=f"{path}: duplicate spec name {spec.name!r} "
+                f"(also defined by {first_file[spec.name]})",
+            ))
+            continue
+        specs[spec.name] = spec
+        first_file[spec.name] = path
+    selected = [
+        spec for _, spec in sorted(specs.items())
+        if all(tag in spec.tags for tag in tags)
+    ]
+    return selected, invalid
+
+
+def _run_attempt_serial(
+    spec: ScenarioSpec, options: MatrixOptions, worker: Worker, attempt: int
+) -> Tuple[str, Any]:
+    """One in-process attempt (degraded mode / spawn-failure fallback)."""
+    try:
+        return "ok", worker(spec.to_json(), options.seed, attempt)
+    except Exception as exc:  # parity with _worker_main's contract
+        return "error", f"{type(exc).__name__}: {exc}"
+
+
+def _finalize(
+    kind: str, payload: Any, name: str, attempts: int
+) -> Dict[str, Any]:
+    """Fold a worker message into a final report entry."""
+    if kind == "ok":
+        return _entry(name, payload["status"], attempts, outcome=payload)
+    return _entry(name, kind, attempts, error=str(payload))
+
+
+def _run_serial(
+    specs: List[ScenarioSpec], options: MatrixOptions, worker: Worker
+) -> Dict[str, Dict[str, Any]]:
+    """Serial execution with the same retry policy as the pool."""
+    entries: Dict[str, Dict[str, Any]] = {}
+    for spec in specs:
+        for attempt in range(options.retries + 1):
+            kind, payload = _run_attempt_serial(spec, options, worker,
+                                                attempt)
+            if kind == "ok" or attempt == options.retries:
+                entries[spec.name] = _finalize(kind, payload, spec.name,
+                                               attempt + 1)
+                break
+    return entries
+
+
+def _run_pool(
+    specs: List[ScenarioSpec], options: MatrixOptions, worker: Worker
+) -> Dict[str, Dict[str, Any]]:
+    """Process-pool execution with crash isolation and deadlines."""
+    ctx = multiprocessing.get_context()
+    entries: Dict[str, Dict[str, Any]] = {}
+    # (spec, attempt, not-before wall time); ready_at implements the
+    # deterministic inter-attempt backoff.
+    queue: deque = deque((spec, 0, 0.0) for spec in specs)
+    active: Dict[str, Dict[str, Any]] = {}
+
+    def resolve(name: str, kind: str, payload: Any, attempt: int) -> None:
+        """Finalize or requeue one finished attempt."""
+        spec = active.pop(name)["spec"]
+        if kind != "ok" and attempt < options.retries:
+            ready_at = time.monotonic() + options.backoff_s * (2 ** attempt)
+            queue.append((spec, attempt + 1, ready_at))
+            return
+        entries[name] = _finalize(kind, payload, name, attempt + 1)
+
+    while queue or active:
+        now = time.monotonic()
+        # Launch as many ready specs as the job cap allows.
+        for _ in range(len(queue)):
+            if len(active) >= options.jobs:
+                break
+            spec, attempt, ready_at = queue.popleft()
+            if ready_at > now and queue:
+                queue.append((spec, attempt, ready_at))
+                continue
+            if ready_at > now:
+                time.sleep(ready_at - now)
+            try:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, worker, spec.to_json(), options.seed,
+                          attempt),
+                )
+                proc.start()
+            except (OSError, PermissionError, NotImplementedError):
+                # Cannot spawn workers here: degrade this spec to a
+                # serial in-process attempt and keep going.
+                kind, payload = _run_attempt_serial(spec, options, worker,
+                                                    attempt)
+                active[spec.name] = {"spec": spec}
+                resolve(spec.name, kind, payload, attempt)
+                continue
+            child_conn.close()
+            active[spec.name] = {
+                "spec": spec,
+                "proc": proc,
+                "conn": parent_conn,
+                "attempt": attempt,
+                "deadline": time.monotonic() + options.timeout_s,
+            }
+        if not active:
+            # Everything queued is holding its backoff; wait it out
+            # instead of spinning.
+            time.sleep(0.01)
+            continue
+        multiprocessing.connection.wait(
+            [state["conn"] for state in active.values()], 0.05
+        )
+        for name in list(active):
+            state = active[name]
+            message = None
+            if state["conn"].poll():
+                try:
+                    message = state["conn"].recv()
+                except (EOFError, OSError):
+                    message = None
+            if message is not None:
+                state["proc"].join(10.0)
+                if state["proc"].is_alive():
+                    state["proc"].kill()
+                    state["proc"].join(10.0)
+                resolve(name, message[0], message[1], state["attempt"])
+            elif not state["proc"].is_alive():
+                state["proc"].join(10.0)
+                resolve(
+                    name, "crashed",
+                    "worker exited without reporting "
+                    f"(exit code {state['proc'].exitcode})",
+                    state["attempt"],
+                )
+            elif time.monotonic() >= state["deadline"]:
+                state["proc"].terminate()
+                state["proc"].join(10.0)
+                if state["proc"].is_alive():
+                    state["proc"].kill()
+                    state["proc"].join(10.0)
+                resolve(
+                    name, "timeout",
+                    f"no result within {options.timeout_s:g}s",
+                    state["attempt"],
+                )
+    return entries
+
+
+def _worst_tables(specs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Worst observed value of each health signal across the matrix.
+
+    Ties break toward the lexicographically smallest spec name (the
+    scan order), keeping the table independent of completion order.
+    """
+    worst: Dict[str, Any] = {}
+    for entry in specs:
+        report = entry.get("guarantees")
+        if not report:
+            continue
+        for signal, value in report.get("worst", {}).items():
+            if value is None:
+                continue
+            seen = worst.get(signal)
+            better = seen is None or (
+                value < seen["value"] if signal.startswith("min_")
+                else value > seen["value"]
+            )
+            if better:
+                worst[signal] = {"value": value, "spec": entry["name"]}
+    return worst
+
+
+def _telemetry_summary(
+    shards: Dict[str, Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Compact summary of the canonical cross-spec telemetry merge."""
+    if not shards:
+        return None
+    merged = merge_documents([shards[name] for name in sorted(shards)])
+    return {
+        "shards": sorted(shards),
+        "records": len(merged.get("records", [])),
+        "metrics": len(merged.get("metrics", {})),
+    }
+
+
+def run_matrix(
+    directory: str,
+    options: MatrixOptions = MatrixOptions(),
+    worker: Optional[Worker] = None,
+) -> Dict[str, Any]:
+    """Execute a spec directory and return the aggregated report.
+
+    Args:
+        directory: Directory of ``.json`` spec files.
+        options: Execution knobs (see :class:`MatrixOptions`).
+        worker: Override of the per-spec worker callable — the test
+            hook for injecting crashing/hanging/flaky workers.
+    """
+    worker = worker if worker is not None else _execute_spec
+    specs, invalid = discover_specs(directory, tags=options.tags)
+    if options.serial:
+        entries = _run_serial(specs, options, worker)
+    else:
+        entries = _run_pool(specs, options, worker)
+    for entry in invalid:
+        entries[entry["name"]] = entry
+    ordered = [entries[name] for name in sorted(entries)]
+    return _aggregate(ordered, options)
+
+
+def _aggregate(
+    ordered: List[Dict[str, Any]], options: MatrixOptions
+) -> Dict[str, Any]:
+    """Assemble the final ``mntp-matrix-report-v1`` document."""
+    counts: Dict[str, int] = {}
+    for entry in ordered:
+        counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+    hard_failed = [
+        entry["name"] for entry in ordered
+        if entry["status"] in HARD_FAIL_STATUSES
+    ]
+    shards = {
+        entry["name"]: entry.pop("shard")
+        for entry in ordered
+        if entry.get("shard") is not None
+    }
+    specs = []
+    for entry in ordered:
+        entry.pop("shard", None)
+        specs.append(entry)
+    return {
+        "format": MATRIX_FORMAT,
+        "seed": options.seed,
+        "timeout_s": options.timeout_s,
+        "retries": options.retries,
+        "tags": list(options.tags),
+        "specs": specs,
+        "counts": {status: counts[status] for status in sorted(counts)},
+        "worst": _worst_tables(specs),
+        "telemetry": _telemetry_summary(shards),
+        "verdict": {"ok": not hard_failed, "hard_failed": hard_failed},
+    }
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Canonical JSON encoding of a matrix report."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def render_matrix_text(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a matrix report (no trailing \\n)."""
+    from repro.reporting import render_table
+
+    rows = []
+    for entry in report["specs"]:
+        guarantees = entry.get("guarantees") or {}
+        worst = guarantees.get("worst", {})
+
+        def cell(key: str, fmt: str) -> str:
+            value = worst.get(key)
+            return "n/a" if value is None else format(value, fmt)
+
+        rows.append([
+            entry["name"],
+            entry["status"],
+            entry["attempts"],
+            guarantees.get("verdict", "n/a"),
+            cell("p99_abs_error_ms", ".1f"),
+            cell("drop_rate_ratio", ".2f"),
+            cell("starvation_s", ".0f"),
+            entry.get("error") or "",
+        ])
+    lines = [render_table(
+        ["spec", "status", "attempts", "verdict", "worst p99 (ms)",
+         "worst drop", "worst starv (s)", "error"],
+        rows,
+    )]
+    verdict = report["verdict"]
+    counts = ", ".join(
+        f"{status}={count}" for status, count in report["counts"].items()
+    )
+    lines.append(f"matrix: {counts or 'no specs'}")
+    if verdict["ok"]:
+        lines.append("matrix verdict: OK")
+    else:
+        lines.append(
+            "matrix verdict: HARD FAIL "
+            f"({', '.join(verdict['hard_failed'])})"
+        )
+    return "\n".join(lines)

@@ -1,4 +1,5 @@
-"""ROB001: bare except handlers and degenerate wait literals."""
+"""ROB001 (bare except / degenerate waits) and ROB002 (hard-coded
+guarantee thresholds in scenario code)."""
 
 from repro.analysis import check_source
 
@@ -69,3 +70,78 @@ def test_message_points_at_the_wait_keyword():
         module="repro.ntp.sntp_client",
     )
     assert any("timeout=0" in f.message for f in findings)
+
+
+# -- ROB002: guarantee thresholds must live in the spec --------------------
+
+
+THRESHOLD = "def judge(p99_abs_error_ms):\n    return p99_abs_error_ms > 25.0\n"
+
+SPEC_IMPORT = "from repro.testbed.specs import ScenarioSpec\n"
+
+
+def rob002_for(src, module):
+    # The import line may trip unrelated rules (e.g. COR004 unused
+    # import in these minimal fixtures); isolate ROB002.
+    return [f for f in check_source(src, module=module) if f.rule == "ROB002"]
+
+
+def test_rob002_flags_thresholds_in_scenario_modules():
+    assert "ROB002" in rules_for(THRESHOLD, "repro.testbed.scenarios")
+    assert "ROB002" in rules_for(THRESHOLD, "repro.testbed.specs")
+    assert "ROB002" in rules_for(THRESHOLD, "repro.testbed.matrix")
+
+
+def test_rob002_flags_thresholds_in_spec_importers():
+    src = SPEC_IMPORT + "def f(duration_s):\n    return duration_s >= 600.0\n"
+    assert [f.rule for f in rob002_for(src, "repro.core.protocol")] == ["ROB002"]
+
+
+def test_rob002_scope_via_testbed_facade_import():
+    src = (
+        "from repro.testbed import run_matrix\n"
+        "def f(starvation_s):\n    return 600.0 < starvation_s\n"
+    )
+    assert [f.rule for f in rob002_for(src, "repro.cli")] == ["ROB002"]
+
+
+def test_rob002_out_of_scope_without_scenario_import():
+    assert rob002_for(THRESHOLD, "repro.core.protocol") == []
+    assert rob002_for(SPEC_IMPORT + THRESHOLD, "scripts.bench") == []
+    assert rob002_for(SPEC_IMPORT + THRESHOLD, "tests.testbed.test_specs") == []
+
+
+def test_rob002_exempts_structural_constants():
+    src = (
+        "def f(duration_s, cadence_s):\n"
+        "    return duration_s > 0 and cadence_s >= 1 and duration_s != -1\n"
+    )
+    assert rob002_for(src, "repro.testbed.specs") == []
+
+
+def test_rob002_ignores_unsuffixed_names():
+    src = "def f(retries):\n    return retries > 5\n"
+    assert rob002_for(src, "repro.testbed.matrix") == []
+
+
+def test_rob002_spec_field_comparison_passes():
+    src = (
+        "def f(spec, p99_abs_error_ms):\n"
+        "    return p99_abs_error_ms >= spec.p99_abs_error_violate_ms\n"
+    )
+    assert rob002_for(src, "repro.testbed.specs") == []
+
+
+def test_rob002_message_names_the_spec_home():
+    findings = rob002_for(THRESHOLD, "repro.testbed.scenarios")
+    assert len(findings) == 1
+    assert "SloSpec guarantees block" in findings[0].message
+    assert "'p99_abs_error_ms'" in findings[0].message
+
+
+def test_noqa_suppresses_rob002():
+    src = (
+        "def f(age_s):\n"
+        "    return age_s > 3.5  # repro: noqa[ROB002] parser sentinel\n"
+    )
+    assert rob002_for(src, "repro.testbed.specs") == []

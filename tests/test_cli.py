@@ -1,5 +1,7 @@
 """CLI subcommands."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -525,6 +527,114 @@ def test_run_watch_prints_health_lines(capsys):
     assert "p99|err|=" in out
 
 
-def test_run_slo_requires_watch(capsys):
-    assert main(["run", "wired_corrected", "--slo", "spec.json"]) == 2
-    assert "--slo only applies with --watch" in capsys.readouterr().err
+def test_run_slo_with_unreadable_spec_fails(capsys):
+    assert main(["run", "wired_corrected", "--slo", "missing-spec.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def _slo_file(tmp_path, name, **overrides):
+    from repro.obs import SloSpec
+
+    data = SloSpec().to_dict()
+    data.update(overrides)
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_run_slo_without_watch_monitors_and_reports(tmp_path, capsys):
+    lax = _slo_file(tmp_path, "lax.json",
+                    p99_abs_error_warn_ms=5000.0,
+                    p99_abs_error_violate_ms=10000.0)
+    assert main(["--seed", "2", "run", "wired_corrected",
+                 "--slo", lax, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["health"]["format"] == "mntp-health-report-v1"
+    assert summary["health"]["verdict"] != "violated"
+
+
+def test_run_violated_verdict_exits_nonzero(tmp_path, capsys):
+    strict = _slo_file(tmp_path, "strict.json",
+                       p99_abs_error_warn_ms=0.0005,
+                       p99_abs_error_violate_ms=0.001)
+    assert main(["--seed", "2", "run", "wired_corrected",
+                 "--slo", strict, "--json"]) == 1
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["health"]["verdict"] == "violated"
+    # Same verdict, table mode: the verdict line prints and rc stays 1.
+    assert main(["--seed", "2", "run", "wired_corrected",
+                 "--slo", strict]) == 1
+    assert "health verdict: violated" in capsys.readouterr().out
+
+
+# -- matrix ----------------------------------------------------------------
+
+
+def _matrix_spec_file(tmp_path, name, tags=(), strict=False):
+    from repro.obs import SloSpec
+    from repro.testbed.specs import ScenarioSpec, TopologySpec, save_spec
+
+    bars = (
+        {"p99_abs_error_warn_ms": 0.0005, "p99_abs_error_violate_ms": 0.001}
+        if strict else
+        {"p99_abs_error_warn_ms": 5000.0, "p99_abs_error_violate_ms": 10000.0}
+    )
+    spec = ScenarioSpec(
+        name=name,
+        description="cli matrix fixture",
+        duration_s=300.0,
+        topology=TopologySpec(wireless=False, monitor_active=False),
+        guarantees=SloSpec.from_dict({**SloSpec().to_dict(), **bars}),
+        tags=tuple(tags),
+    )
+    save_spec(spec, str(tmp_path / f"{name}.json"))
+    return spec
+
+
+def test_matrix_cli_json_and_save(tmp_path, capsys):
+    _matrix_spec_file(tmp_path, "tiny", tags=("smoke",))
+    out_path = tmp_path / "report.json"
+    assert main(["--seed", "3", "matrix", str(tmp_path), "--jobs", "1",
+                 "--json", "--save", str(out_path)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["format"] == "mntp-matrix-report-v1"
+    assert report["specs"][0]["name"] == "tiny"
+    assert report["specs"][0]["status"] == "success"
+    assert json.loads(out_path.read_text()) == report
+
+
+def test_matrix_cli_hard_fail_exits_nonzero(tmp_path, capsys):
+    _matrix_spec_file(tmp_path, "doomed", strict=True)
+    assert main(["--seed", "3", "matrix", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "HARD FAIL" in out
+    assert "doomed" in out
+
+
+def test_matrix_cli_smoke_filters_tags(tmp_path, capsys):
+    _matrix_spec_file(tmp_path, "gated", tags=("smoke",))
+    # Strict spec would fail, but it is untagged so --smoke skips it.
+    _matrix_spec_file(tmp_path, "skipped", strict=True)
+    assert main(["--seed", "3", "matrix", str(tmp_path), "--smoke",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert [entry["name"] for entry in report["specs"]] == ["gated"]
+
+
+def test_matrix_cli_argument_validation(tmp_path, capsys):
+    assert main(["matrix", str(tmp_path / "missing")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+    assert main(["matrix", str(tmp_path), "--jobs", "0"]) == 2
+    assert "jobs" in capsys.readouterr().err
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["matrix", str(empty)]) == 2
+    assert "no scenario specs" in capsys.readouterr().err
+
+
+def test_matrix_cli_serial_mode(tmp_path, capsys):
+    _matrix_spec_file(tmp_path, "tiny")
+    assert main(["--seed", "3", "matrix", str(tmp_path), "--serial",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["specs"][0]["status"] == "success"

@@ -1,0 +1,228 @@
+"""Matrix runner: fault tolerance, retry policy, deterministic reports."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.health import SloSpec
+from repro.testbed.matrix import (
+    MATRIX_FORMAT,
+    MatrixOptions,
+    discover_specs,
+    render_matrix_text,
+    report_to_json,
+    run_matrix,
+)
+from repro.testbed.specs import ScenarioSpec, TopologySpec, save_spec
+
+# The scripted worker reads its behaviour from the spec's description,
+# so one worker function (picklable, module-level) drives every
+# failure path.  "worst" values derive from duration_s so the
+# worst-case tables are predictable per spec.
+
+
+def _spec(name, behaviour, duration_s=300.0, tags=()):
+    return ScenarioSpec(
+        name=name,
+        description=behaviour,
+        duration_s=duration_s,
+        topology=TopologySpec(wireless=False, monitor_active=False),
+        tags=tuple(tags),
+    )
+
+
+def _fake_outcome(spec):
+    return {
+        "name": spec.name,
+        "status": "success",
+        "guarantees": {
+            "verdict": "pass",
+            "worst": {
+                "p99_abs_error_ms": spec.duration_s / 10.0,
+                "drop_rate_ratio": 0.0,
+                "starvation_s": spec.duration_s / 5.0,
+            },
+        },
+        "minimal_guarantees": None,
+        "summary": {"duration_s": spec.duration_s},
+        "shard": None,
+    }
+
+
+def scripted_worker(spec_json, seed, attempt):
+    spec = ScenarioSpec.from_json(spec_json)
+    behaviour = spec.description
+    if behaviour == "crash":
+        os._exit(3)
+    if behaviour == "hang":
+        threading.Event().wait(60.0)
+    if behaviour == "flaky" and attempt == 0:
+        os._exit(4)
+    if behaviour == "raise":
+        raise RuntimeError("boom")
+    return _fake_outcome(spec)
+
+
+def write_failure_dir(tmp_path):
+    for spec in (
+        _spec("crashy", "crash"),
+        _spec("flaky", "flaky"),
+        _spec("good_a", "ok", duration_s=400.0),
+        _spec("good_b", "ok", duration_s=400.0),
+        _spec("slow", "hang"),
+    ):
+        save_spec(spec, str(tmp_path / f"{spec.name}.json"))
+    return str(tmp_path)
+
+
+def failure_options(jobs):
+    return MatrixOptions(seed=7, jobs=jobs, timeout_s=1.0, retries=1,
+                         backoff_s=0.01)
+
+
+def entry_by_name(report):
+    return {entry["name"]: entry for entry in report["specs"]}
+
+
+def test_crash_hang_retry_paths_and_byte_identical_reports(tmp_path):
+    directory = write_failure_dir(tmp_path)
+    serial_report = run_matrix(directory, failure_options(jobs=1),
+                               worker=scripted_worker)
+    pooled_report = run_matrix(directory, failure_options(jobs=4),
+                               worker=scripted_worker)
+
+    # The aggregated report is byte-identical across worker counts.
+    assert report_to_json(serial_report) == report_to_json(pooled_report)
+
+    entries = entry_by_name(serial_report)
+    # Worker crash: isolated, retried, exhausted.
+    assert entries["crashy"]["status"] == "crashed"
+    assert entries["crashy"]["attempts"] == 2
+    assert "exit code 3" in entries["crashy"]["error"]
+    # Hung worker: terminated at the deadline, retried, exhausted.
+    assert entries["slow"]["status"] == "timeout"
+    assert entries["slow"]["attempts"] == 2
+    assert "within 1s" in entries["slow"]["error"]
+    # Retry-then-succeed: first attempt crashes, second lands.
+    assert entries["flaky"]["status"] == "success"
+    assert entries["flaky"]["attempts"] == 2
+    # The healthy specs never pay for their neighbours.
+    assert entries["good_a"]["status"] == "success"
+    assert entries["good_a"]["attempts"] == 1
+    assert entries["good_b"]["status"] == "success"
+
+    assert serial_report["format"] == MATRIX_FORMAT
+    assert serial_report["counts"] == {
+        "crashed": 1, "success": 3, "timeout": 1,
+    }
+    assert serial_report["verdict"] == {
+        "ok": False, "hard_failed": ["crashy", "slow"],
+    }
+
+
+def test_worst_tables_break_ties_toward_the_smaller_name(tmp_path):
+    directory = write_failure_dir(tmp_path)
+    report = run_matrix(directory, failure_options(jobs=2),
+                        worker=scripted_worker)
+    # good_a and good_b share the worst p99 (duration 400 -> 40.0);
+    # the tie goes to the lexicographically smaller spec name.
+    assert report["worst"]["p99_abs_error_ms"] == {
+        "value": 40.0, "spec": "good_a",
+    }
+    assert report["worst"]["starvation_s"]["spec"] == "good_a"
+
+
+def test_raising_worker_is_an_error_not_a_crash(tmp_path):
+    save_spec(_spec("raiser", "raise"), str(tmp_path / "raiser.json"))
+    report = run_matrix(
+        str(tmp_path),
+        MatrixOptions(seed=1, jobs=2, timeout_s=5.0, retries=0),
+        worker=scripted_worker,
+    )
+    entry = report["specs"][0]
+    assert entry["status"] == "error"
+    assert "RuntimeError: boom" in entry["error"]
+    assert entry["attempts"] == 1
+
+
+def test_serial_mode_matches_the_pool_for_deterministic_outcomes(tmp_path):
+    for spec in (_spec("good_a", "ok"), _spec("raiser", "raise")):
+        save_spec(spec, str(tmp_path / f"{spec.name}.json"))
+    options = MatrixOptions(seed=1, jobs=2, timeout_s=5.0, retries=1,
+                            backoff_s=0.0)
+    serial = run_matrix(str(tmp_path),
+                        MatrixOptions(seed=1, timeout_s=5.0, retries=1,
+                                      backoff_s=0.0, serial=True),
+                        worker=scripted_worker)
+    pooled = run_matrix(str(tmp_path), options, worker=scripted_worker)
+    assert report_to_json(serial) == report_to_json(pooled)
+
+
+def test_invalid_spec_file_costs_itself_not_the_matrix(tmp_path):
+    (tmp_path / "broken.json").write_text("{not json")
+    save_spec(_spec("good_a", "ok"), str(tmp_path / "good_a.json"))
+    report = run_matrix(
+        str(tmp_path), MatrixOptions(seed=1, timeout_s=5.0),
+        worker=scripted_worker,
+    )
+    entries = entry_by_name(report)
+    assert entries["broken"]["status"] == "invalid"
+    assert "broken.json" in entries["broken"]["error"]
+    assert entries["good_a"]["status"] == "success"
+    assert report["verdict"]["hard_failed"] == ["broken"]
+
+
+def test_duplicate_spec_names_flag_the_second_file(tmp_path):
+    save_spec(_spec("twin", "ok"), str(tmp_path / "a.json"))
+    save_spec(_spec("twin", "ok"), str(tmp_path / "b.json"))
+    specs, invalid = discover_specs(str(tmp_path))
+    assert [s.name for s in specs] == ["twin"]
+    assert len(invalid) == 1
+    assert "duplicate spec name" in invalid[0]["error"]
+
+
+def test_tag_filter_selects_smoke_specs(tmp_path):
+    save_spec(_spec("tagged", "ok", tags=("smoke",)),
+              str(tmp_path / "tagged.json"))
+    save_spec(_spec("untagged", "ok"), str(tmp_path / "untagged.json"))
+    specs, _ = discover_specs(str(tmp_path), tags=("smoke",))
+    assert [s.name for s in specs] == ["tagged"]
+
+
+def test_real_worker_end_to_end_with_telemetry_merge(tmp_path):
+    lax = SloSpec.from_dict({
+        **SloSpec().to_dict(),
+        "p99_abs_error_warn_ms": 5000.0,
+        "p99_abs_error_violate_ms": 10000.0,
+    })
+    spec = ScenarioSpec(
+        name="tiny",
+        description="real end-to-end matrix spec",
+        duration_s=300.0,
+        topology=TopologySpec(wireless=False, monitor_active=False),
+        guarantees=lax,
+    )
+    save_spec(spec, str(tmp_path / "tiny.json"))
+    report = run_matrix(str(tmp_path),
+                        MatrixOptions(seed=3, jobs=1, timeout_s=120.0))
+    entry = report["specs"][0]
+    assert entry["status"] == "success"
+    assert entry["guarantees"]["verdict"] != "violated"
+    assert entry["summary"]["sntp_samples"] > 0
+    assert report["telemetry"]["shards"] == ["tiny"]
+    assert report["telemetry"]["records"] > 0
+    assert report["verdict"]["ok"] is True
+    # The document is valid JSON and renders without a crash.
+    assert json.loads(report_to_json(report))["format"] == MATRIX_FORMAT
+    assert "tiny" in render_matrix_text(report)
+
+
+def test_matrix_options_validation():
+    with pytest.raises(ValueError, match="jobs"):
+        MatrixOptions(jobs=0)
+    with pytest.raises(ValueError, match="timeout_s"):
+        MatrixOptions(timeout_s=0.0)
+    with pytest.raises(ValueError, match="retries"):
+        MatrixOptions(retries=-1)

@@ -1,0 +1,248 @@
+"""ScenarioSpec: round-trip, strict validation, derivation, judging."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.chaos import default_fault_matrix
+from repro.obs.health import SloSpec, smoke_spec
+from repro.testbed.scenarios import SCENARIOS
+from repro.testbed.specs import (
+    SPEC_FORMAT,
+    ScenarioSpec,
+    TopologySpec,
+    chaos_matrix_spec,
+    default_specs,
+    judge_result,
+    load_spec,
+    load_spec_dir,
+    run_spec,
+    save_spec,
+    spec_for_scenario,
+    write_default_specs,
+)
+
+REPO_SCENARIOS = Path(__file__).resolve().parents[2] / "scenarios"
+
+
+# -- round-trip ------------------------------------------------------------
+
+
+def test_every_default_spec_round_trips():
+    for spec in default_specs():
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_named_scenarios_derive_equivalent_options():
+    for name, scenario in SCENARIOS.items():
+        spec = spec_for_scenario(name)
+        assert spec.build_options() == scenario.options_factory()
+        assert spec.duration_s == scenario.duration
+        assert spec.cadence_s == scenario.cadence
+        assert spec.run_sntp == scenario.run_sntp
+        expected_mntp = (
+            scenario.mntp_config_factory()
+            if scenario.mntp_config_factory is not None
+            else None
+        )
+        assert spec.mntp == expected_mntp
+
+
+def test_chaos_full_spec_carries_the_twelve_episode_matrix():
+    spec = chaos_matrix_spec()
+    assert spec.faults == default_fault_matrix(smoke=False)
+    assert len(spec.faults.episodes) == 12
+    assert spec.minimal_guarantees is not None
+    rt = ScenarioSpec.from_json(spec.to_json())
+    assert rt.faults == spec.faults
+    assert rt.minimal_guarantees == spec.minimal_guarantees
+
+
+def test_chaos_smoke_spec_embeds_the_smoke_slo_verbatim():
+    assert spec_for_scenario("chaos_smoke").guarantees == smoke_spec()
+
+
+def test_checked_in_spec_files_match_the_generator(tmp_path):
+    written = write_default_specs(str(tmp_path))
+    assert [Path(p).name for p in written] == sorted(
+        p.name for p in REPO_SCENARIOS.glob("*.json")
+    )
+    for path in written:
+        generated = Path(path).read_text()
+        checked_in = (REPO_SCENARIOS / Path(path).name).read_text()
+        assert generated == checked_in, (
+            f"{Path(path).name} is stale; regenerate with "
+            "write_default_specs('scenarios')"
+        )
+
+
+def test_load_spec_dir_round_trips_the_shipped_set():
+    specs = load_spec_dir(str(REPO_SCENARIOS))
+    assert [s.name for s in specs] == sorted(s.name for s in default_specs())
+    by_name = {s.name: s for s in default_specs()}
+    for spec in specs:
+        assert spec == by_name[spec.name]
+
+
+def test_load_spec_dir_rejects_duplicate_names(tmp_path):
+    spec = spec_for_scenario("wired_corrected")
+    save_spec(spec, str(tmp_path / "a.json"))
+    save_spec(spec, str(tmp_path / "b.json"))
+    with pytest.raises(ValueError, match="duplicate spec name"):
+        load_spec_dir(str(tmp_path))
+
+
+# -- strict validation -----------------------------------------------------
+
+
+def base_dict():
+    return spec_for_scenario("wired_corrected").to_dict()
+
+
+def test_unknown_top_level_key_rejected():
+    data = base_dict()
+    data["durationn_s"] = 60.0
+    with pytest.raises(ValueError, match="spec: unknown keys.*durationn_s"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_topology_key_rejected():
+    data = base_dict()
+    data["topology"]["wirelesss"] = True
+    with pytest.raises(ValueError,
+                       match="spec.topology: unknown keys.*wirelesss"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_guarantee_key_names_the_block():
+    data = base_dict()
+    data["guarantees"]["p99_abs_error_violate"] = 10.0
+    with pytest.raises(ValueError, match="spec.guarantees:.*unknown"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_mntp_key_rejected():
+    data = spec_for_scenario("chaos_smoke").to_dict()
+    data["mntp"]["warmup_periods"] = 1.0
+    with pytest.raises(ValueError, match="spec.mntp: unknown keys"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_fault_episode_key_carries_its_index():
+    data = spec_for_scenario("chaos_smoke").to_dict()
+    data["faults"]["episodes"][1]["strt"] = 1.0
+    with pytest.raises(ValueError,
+                       match=r"spec.faults.episodes\[1\]: unknown keys"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_wrong_format_tag_rejected():
+    data = base_dict()
+    data["format"] = "mntp-scenario-spec-v0"
+    with pytest.raises(ValueError, match=SPEC_FORMAT):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_temperature_profile_rejected():
+    data = base_dict()
+    data["topology"]["temperature"] = {"profile": "volcanic", "celsius_c": 9000}
+    with pytest.raises(ValueError, match="spec.topology.temperature.profile"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_temperature_profiles_round_trip():
+    spec = spec_for_scenario("mntp_insitu_24h")
+    rt = ScenarioSpec.from_json(spec.to_json())
+    assert rt.topology.temperature == spec.topology.temperature
+    assert rt.build_options() == SCENARIOS[
+        "mntp_insitu_24h"
+    ].options_factory()
+
+
+def test_invalid_timing_fields_rejected():
+    with pytest.raises(ValueError, match="duration_s must be positive"):
+        ScenarioSpec(name="x", duration_s=0.0)
+    with pytest.raises(ValueError, match="cadence_s must be positive"):
+        ScenarioSpec(name="x", cadence_s=-5.0)
+    with pytest.raises(ValueError, match="filename stem"):
+        ScenarioSpec(name="a/b")
+    with pytest.raises(ValueError, match="pool_size"):
+        TopologySpec(pool_size=0)
+
+
+def test_load_spec_prefixes_the_path(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="broken.json"):
+        load_spec(str(path))
+
+
+# -- execution + two-tier judging -----------------------------------------
+
+
+def quick_spec(**overrides):
+    """A fast wired spec for live judging tests."""
+    defaults = dict(
+        name="quick",
+        duration_s=300.0,
+        cadence_s=5.0,
+        topology=TopologySpec(wireless=False, ntp_correction=True,
+                              monitor_active=False),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def strict_slo():
+    """Guarantees no real run can hold (p99 must stay under 1 µs)."""
+    return SloSpec.from_dict({
+        **SloSpec().to_dict(),
+        "p99_abs_error_warn_ms": 0.0005,
+        "p99_abs_error_violate_ms": 0.001,
+    })
+
+
+def lax_slo():
+    """Guarantees any sane run holds."""
+    return SloSpec.from_dict({
+        **SloSpec().to_dict(),
+        "p99_abs_error_warn_ms": 5000.0,
+        "p99_abs_error_violate_ms": 10000.0,
+    })
+
+
+def test_success_tier():
+    result, judgement = run_spec(quick_spec(guarantees=lax_slo()), seed=3)
+    assert judgement["status"] == "success"
+    assert judgement["guarantees"]["verdict"] != "violated"
+    assert judgement["minimal_guarantees"] is None
+    assert result.health == judgement["guarantees"]
+
+
+def test_minimal_tier_downgrades_a_violated_success_tier():
+    spec = quick_spec(guarantees=strict_slo(), minimal_guarantees=lax_slo())
+    _result, judgement = run_spec(spec, seed=3)
+    assert judgement["guarantees"]["verdict"] == "violated"
+    assert judgement["minimal_guarantees"]["verdict"] != "violated"
+    assert judgement["status"] == "minimal"
+
+
+def test_violating_both_tiers_is_a_hard_failure():
+    spec = quick_spec(guarantees=strict_slo(),
+                      minimal_guarantees=strict_slo())
+    _result, judgement = run_spec(spec, seed=3)
+    assert judgement["status"] == "failed"
+
+
+def test_violated_without_minimal_tier_is_a_hard_failure():
+    _result, judgement = run_spec(quick_spec(guarantees=strict_slo()),
+                                  seed=3)
+    assert judgement["status"] == "failed"
+    assert judgement["minimal_guarantees"] is None
+
+
+def test_judge_requires_a_monitored_result():
+    from repro.testbed.experiment import ExperimentResult
+
+    with pytest.raises(ValueError, match="no health verdict"):
+        judge_result(quick_spec(), ExperimentResult())
