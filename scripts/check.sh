@@ -29,6 +29,15 @@ python -m repro.analysis src \
     --select PERF001,PERF002,PERF003,PERF004,CONC001,CONC002,CONC003,OBS003 \
     --no-baseline
 
+echo "== repro-mntp lint (CFG dataflow: resource typestate + precision, src + tests)"
+# Phase 1.5 gate: no span/telemetry/file handle leaked on any path,
+# no _ns/_us precision lost to float windows, 16.16 truncation,
+# era-unsafe NTP compares, or collapsing division chains.  Runs with
+# --jobs/--stats so per-phase timing lands in CI logs.
+python -m repro.analysis src tests \
+    --select RES001,RES002,RES003,PREC001,PREC002,PREC003,PREC004 \
+    --no-baseline --jobs 4 --stats
+
 if python -m ruff --version >/dev/null 2>&1; then
     echo "== ruff"
     python -m ruff check src tests

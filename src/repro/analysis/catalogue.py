@@ -1,0 +1,230 @@
+"""Catalogue entries for ``lint --explain`` — rationale/example/fix.
+
+Rule classes may carry :attr:`~repro.analysis.engine.Rule.rationale`,
+:attr:`~repro.analysis.engine.Rule.example`, and
+:attr:`~repro.analysis.engine.Rule.fix_hint` directly (the newer rule
+families do); for the rest, the entries live here so the original rule
+modules stay untouched.  ``lint --explain`` reads the class field
+first and falls back to this table, so every registered rule has a
+complete entry either way.
+
+Keep entries short: one-paragraph rationale, a minimal violating
+snippet, and one actionable fix line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: rule id -> {"rationale": ..., "example": ..., "fix_hint": ...}
+ENTRIES: Dict[str, Dict[str, str]] = {
+    "COR001": {
+        "rationale": "Float time quantities accumulate rounding error; "
+                     "exact equality is true only by accident and flips "
+                     "with any reordering of arithmetic.",
+        "example": "if t_s == deadline_s: fire()",
+        "fix_hint": "Compare against a tolerance: "
+                    "abs(t_s - deadline_s) < 1e-9.",
+    },
+    "COR002": {
+        "rationale": "A mutable default is created once at def time and "
+                     "shared by every call, so state leaks between "
+                     "experiments and runs stop being independent.",
+        "example": "def run(samples=[]): samples.append(...)",
+        "fix_hint": "Default to None and create the container inside "
+                    "the function.",
+    },
+    "COR003": {
+        "rationale": "Without __all__ the public surface of a package is "
+                     "whatever happens to be imported, and refactors "
+                     "silently change the API.",
+        "example": "# __init__.py\nfrom .clock import Clock  # no __all__",
+        "fix_hint": "Add __all__ listing every intentionally public name.",
+    },
+    "COR004": {
+        "rationale": "Unused imports hide real dependencies, slow import "
+                     "time, and mask typos (the intended name differs "
+                     "from the imported one).",
+        "example": "import os  # never referenced",
+        "fix_hint": "Delete the import (lint --fix does it mechanically).",
+    },
+    "COR005": {
+        "rationale": "A public function nothing calls or tests is dead "
+                     "weight that still must be kept working; either it "
+                     "has users (add a test) or it does not (remove it).",
+        "example": "def helper(): ...  # no caller, no test, public name",
+        "fix_hint": "Remove it, underscore-prefix it, or add the missing "
+                    "caller/test.",
+    },
+    "DET001": {
+        "rationale": "Simulation output must be a pure function of the "
+                     "seed; a wall-clock read makes runs unreproducible "
+                     "and breaks byte-identical telemetry.",
+        "example": "t0 = time.time()  # inside repro.simcore",
+        "fix_hint": "Use Simulator.now (simulated time) or take the "
+                    "timestamp as a parameter.",
+    },
+    "DET002": {
+        "rationale": "The global random module is one shared stream: any "
+                     "new draw site reorders every later draw and "
+                     "changes results for unrelated components.",
+        "example": "jitter = random.gauss(0, 1)",
+        "fix_hint": "Draw from a named RngRegistry stream: "
+                    "rng = registry.stream('wireless'); rng.gauss(0, 1).",
+    },
+    "DET003": {
+        "rationale": "numpy's global RNG and unseeded default_rng() have "
+                     "the same reproducibility failure as DET002, just "
+                     "in numpy code.",
+        "example": "noise = numpy.random.normal(size=n)",
+        "fix_hint": "Take a Generator from RngRegistry and call its "
+                    "methods.",
+    },
+    "DET004": {
+        "rationale": "A sim-package function can launder a wall-clock or "
+                     "global-RNG call through an innocent-looking "
+                     "helper; the transitive closure is what matters.",
+        "example": "def step(self): util.stamp()  # stamp() calls time.time()",
+        "fix_hint": "Follow the reported witness chain and replace the "
+                    "effectful call at its source.",
+    },
+    "OBS001": {
+        "rationale": "print() output is unstructured, unexportable, and "
+                     "invisible to the telemetry pipeline; findings "
+                     "based on it cannot be asserted on or graphed.",
+        "example": "print(f'offset={offset_ms}')",
+        "fix_hint": "Emit a metric or trace record via repro.obs "
+                    "(telemetry.emit / metrics.counter).",
+    },
+    "OBS002": {
+        "rationale": "Unregistered span kinds and off-convention metric "
+                     "names fragment dashboards: the same quantity ends "
+                     "up under several names.",
+        "example": "tracer.begin('my.new.kind')  # not in taxonomy",
+        "fix_hint": "Register the kind in repro.obs.taxonomy; name "
+                    "counters *_total and put units on gauges.",
+    },
+    "OBS003": {
+        "rationale": "Direct TraceLog appends and per-event registry "
+                     "lookups in the hot closure cost a dict resolve "
+                     "per event — the ring-buffer sink batches them.",
+        "example": "trace.emit(t, 'mntp', 'tick')  # in the hot loop",
+        "fix_hint": "Route through telemetry.emit / telemetry.count.",
+    },
+    "OBS004": {
+        "rationale": "An inline SLO threshold is invisible to the "
+                     "guarantee machinery and drifts from the spec "
+                     "the matrix runner actually enforces.",
+        "example": "if p99_ms > 25: fail()",
+        "fix_hint": "Read the threshold from a unit-suffixed SloSpec "
+                    "field.",
+    },
+    "PERF001": {
+        "rationale": "A container constructed per iteration of the sim "
+                     "inner loop is allocator pressure multiplied by "
+                     "millions of events.",
+        "example": "for e in events: push({'t': e.t})",
+        "fix_hint": "Hoist the container out of the loop or restructure "
+                    "to reuse one.",
+    },
+    "PERF002": {
+        "rationale": "String formatting per iteration burns cycles even "
+                     "when the string is never shown; hot loops should "
+                     "format lazily or not at all.",
+        "example": "for e in events: log(f'event {e.id}')",
+        "fix_hint": "Move formatting behind a level check or out of the "
+                    "loop.",
+    },
+    "PERF003": {
+        "rationale": "Each attribute hop is a dict lookup; repeating a "
+                     "3-deep chain inside a loop pays that cost every "
+                     "iteration for the same object.",
+        "example": "for _ in q: self.link.channel.model.step()",
+        "fix_hint": "Bind the target once before the loop: "
+                    "step = self.link.channel.model.step.",
+    },
+    "PERF004": {
+        "rationale": "A loop whose whole body is one append is the "
+                     "slowest way to build a list in CPython.",
+        "example": "for x in xs: out.append(f(x))",
+        "fix_hint": "Use a comprehension (or a numpy batch op).",
+    },
+    "CONC001": {
+        "rationale": "Module-level mutable state mutated from the hot "
+                     "closure is shared by every shard in one process "
+                     "and breaks the ROADMAP #1 process fan-out.",
+        "example": "_SEEN = {}\ndef on_event(e): _SEEN[e.id] = e",
+        "fix_hint": "Move the container onto the per-shard instance.",
+    },
+    "CONC002": {
+        "rationale": "Class-level mutables and runtime class-attribute "
+                     "writes are shared across all instances — shard "
+                     "isolation silently disappears.",
+        "example": "class Shard:\n    cache = {}\n    def f(self): "
+                   "self.cache[k] = v",
+        "fix_hint": "Initialise the container in __init__ so each "
+                    "instance owns one.",
+    },
+    "CONC003": {
+        "rationale": "functools caches and module-level counters are "
+                     "process-global: they leak results across runs and "
+                     "across shards sharing a worker.",
+        "example": "@lru_cache\ndef lookup(sid): ...  # hot closure",
+        "fix_hint": "Cache on the instance, or key the cache by run/shard.",
+    },
+    "ROB001": {
+        "rationale": "A bare except swallows KeyboardInterrupt and "
+                     "fault-injection signals alike; a non-positive "
+                     "timeout turns a bounded wait into a spin or a "
+                     "hang.",
+        "example": "try: step()\nexcept: pass",
+        "fix_hint": "Name the exceptions you mean to handle; make "
+                    "timeouts positive.",
+    },
+    "ROB002": {
+        "rationale": "Guarantee thresholds hard-coded in scenario code "
+                     "bypass the SloSpec machinery, so the matrix "
+                     "runner and the scenario disagree about pass/fail.",
+        "example": "assert p99_offset_ms < 25  # in a scenario module",
+        "fix_hint": "Declare the threshold in the spec's guarantees "
+                    "block and read it from there.",
+    },
+    "UNIT001": {
+        "rationale": "Adding seconds to milliseconds is the classic "
+                     "silent 1000x error; the suffix convention exists "
+                     "so the linter can catch it.",
+        "example": "total = rtt_ms + offset_s",
+        "fix_hint": "Convert explicitly first: rtt_ms + offset_s * 1e3.",
+    },
+    "UNIT002": {
+        "rationale": "A threshold compared in the wrong unit is off by "
+                     "1000x and usually makes the check always-true or "
+                     "always-false.",
+        "example": "if delay_us > timeout_ms: drop()",
+        "fix_hint": "Convert one side: delay_us > timeout_ms * 1e3.",
+    },
+    "UNIT003": {
+        "rationale": "encode_timestamp/encode_short return fixed-point "
+                     "wire bytes, not numbers; comparing them with "
+                     "floats is meaningless.",
+        "example": "if encode_short(d) > 0.5: ...",
+        "fix_hint": "Decode to seconds first (decode_short / "
+                    "decode_timestamp).",
+    },
+    "UNIT004": {
+        "rationale": "Units must survive call boundaries: passing "
+                     "seconds into a _ms parameter is the same 1000x "
+                     "bug as UNIT001, one hop removed.",
+        "example": "backoff(wait_ms=interval_s)",
+        "fix_hint": "Convert at the call site to the parameter's "
+                    "declared unit.",
+    },
+    "UNIT005": {
+        "rationale": "A call whose return unit is inferred as seconds "
+                     "assigned to an _ms name poisons every later use "
+                     "of that name.",
+        "example": "elapsed_ms = stopwatch_seconds()",
+        "fix_hint": "Rename the target or convert the value at the "
+                    "assignment.",
+    },
+}

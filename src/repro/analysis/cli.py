@@ -111,6 +111,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="list every shipped rule and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print the catalogue entry (summary, rationale, example, "
+             "fix guidance) for one rule and exit",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="only analyse files changed vs the merge-base with "
+             "origin/main (falls back to a full run outside a git repo)",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -128,6 +138,17 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    if args.changed and (args.write_baseline or args.update_baseline):
+        print(
+            "error: refusing to run --changed with --write-baseline/"
+            "--update-baseline: a partial-tree run would write a "
+            "partial baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.explain:
+        return _explain(args.explain)
 
     profile = None
     if args.profile_path:
@@ -161,6 +182,20 @@ def run_lint(args: argparse.Namespace) -> int:
         for p in missing:
             print(f"error: no such path: {p}", file=sys.stderr)
         return 2
+
+    if args.changed:
+        changed = _changed_files()
+        if changed is None:
+            print(
+                "note: --changed: not a git checkout with a merge-base "
+                "against origin/main; analysing the full tree",
+                file=sys.stderr,
+            )
+        else:
+            paths = _restrict_to_changed(paths, changed)
+            if not paths:
+                print("no changed files under the given paths")
+                return 0
 
     cache = None
     if not args.no_cache:
@@ -270,3 +305,80 @@ def _split(value: Optional[str]) -> Optional[List[str]]:
     if value is None:
         return None
     return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _explain(rule_id: str) -> int:
+    """Print one rule's catalogue entry; exit 2 with a hint if unknown."""
+    import difflib
+    import textwrap
+
+    from repro.analysis.catalogue import ENTRIES
+    from repro.analysis.rules import all_project_rules, all_rules
+
+    catalogue = {**all_rules(), **all_project_rules()}
+    rule_cls = catalogue.get(rule_id) or catalogue.get(rule_id.upper())
+    if rule_cls is None:
+        close = difflib.get_close_matches(
+            rule_id.upper(), sorted(catalogue), n=1
+        )
+        hint = f"; did you mean {close[0]}?" if close else ""
+        print(f"error: unknown rule id '{rule_id}'{hint}", file=sys.stderr)
+        return 2
+    extra = ENTRIES.get(rule_cls.rule_id, {})
+    print(f"{rule_cls.rule_id} — {rule_cls.summary}")
+    sections = (
+        ("rationale", rule_cls.rationale or extra.get("rationale", "")),
+        ("example", rule_cls.example or extra.get("example", "")),
+        ("fix", rule_cls.fix_hint or extra.get("fix_hint", "")),
+    )
+    for title, body in sections:
+        if body:
+            print(f"\n{title}:")
+            print(textwrap.indent(textwrap.dedent(body).strip("\n"), "  "))
+    return 0
+
+
+def _changed_files() -> Optional[List[Path]]:
+    """Files changed vs the origin/main merge-base, or None without git.
+
+    Includes committed, staged, unstaged, and untracked changes — the
+    pre-commit use case wants everything the working tree differs by.
+    """
+    import subprocess
+
+    def git(*argv: str) -> Optional[List[str]]:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, timeout=30,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if proc.returncode != 0:
+            return None
+        return [line for line in proc.stdout.split("\0") if line]
+
+    base = git("merge-base", "HEAD", "origin/main")
+    if not base:
+        return None
+    merge_base = base[0].strip()
+    diffed = git("diff", "--name-only", "-z", merge_base)
+    if diffed is None:
+        return None
+    untracked = git("ls-files", "--others", "--exclude-standard", "-z") or []
+    return [Path(name) for name in sorted(set(diffed) | set(untracked))]
+
+
+def _restrict_to_changed(
+    paths: List[Path], changed: List[Path]
+) -> List[Path]:
+    """The changed python files that fall under the requested paths."""
+    roots = [p.resolve() for p in paths]
+    keep: List[Path] = []
+    for path in changed:
+        if path.suffix != ".py" or not path.is_file():
+            continue
+        resolved = path.resolve()
+        if any(root == resolved or root in resolved.parents
+               for root in roots):
+            keep.append(path)
+    return keep

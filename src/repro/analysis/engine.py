@@ -44,7 +44,7 @@ from typing import (
 
 #: Bumped whenever findings, summaries, or rule semantics change shape;
 #: part of the incremental cache key so stale caches self-invalidate.
-TOOL_VERSION = "3.1"
+TOOL_VERSION = "4.0"
 
 #: Matches ``# repro: noqa`` with an optional ``[RULE1,RULE2]`` list.
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?P<rest>\[[^\]]*\])?")
@@ -262,11 +262,16 @@ class Rule(ast.NodeVisitor):
 
     Subclasses set :attr:`rule_id` and :attr:`summary`, then override
     ``visit_*`` methods (or :meth:`run` for whole-module checks) and call
-    :meth:`report` for each diagnostic.
+    :meth:`report` for each diagnostic.  The optional catalogue fields
+    (:attr:`rationale`, :attr:`example`, :attr:`fix_hint`) feed
+    ``lint --explain``.
     """
 
     rule_id: str = ""
     summary: str = ""
+    rationale: str = ""   # why the rule exists (one short paragraph)
+    example: str = ""     # a minimal violating snippet
+    fix_hint: str = ""    # how to repair a finding
 
     def __init__(self, module: SourceModule) -> None:
         self.module = module
@@ -295,11 +300,15 @@ class ProjectRule:
 
     Subclasses set :attr:`rule_id` and :attr:`summary` and implement
     :meth:`run` over ``self.project``, a
-    :class:`repro.analysis.flow.project.Project`.
+    :class:`repro.analysis.flow.project.Project`.  The optional
+    catalogue fields mirror :class:`Rule`'s.
     """
 
     rule_id: str = ""
     summary: str = ""
+    rationale: str = ""
+    example: str = ""
+    fix_hint: str = ""
 
     def __init__(self, project: Any) -> None:
         self.project = project

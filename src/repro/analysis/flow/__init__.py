@@ -6,8 +6,29 @@ module to a JSON-serializable :class:`ModuleSummary`; phase two
 :class:`Project` — the call graph plus derived return units and
 transitive effect sets — that the interprocedural rules in
 :mod:`~repro.analysis.flow.rules` consume.
+
+Phase 1.5 (:mod:`~repro.analysis.flow.cfg` +
+:mod:`~repro.analysis.flow.dataflow`) sits between them: per-function
+control-flow graphs and a generic fixpoint solver, consumed by the
+path-sensitive RES/PREC rule families.
 """
 
+from repro.analysis.flow.cfg import (
+    CFG,
+    Block,
+    CfgUnsupported,
+    Edge,
+    Guard,
+    build_cfg,
+    function_cfgs,
+)
+from repro.analysis.flow.dataflow import (
+    Analysis,
+    each_item_state,
+    exit_edge_states,
+    solve_backward,
+    solve_forward,
+)
 from repro.analysis.flow.hot import (
     HOT_ROOTS,
     SHARD_PACKAGES,
@@ -36,7 +57,19 @@ from repro.analysis.flow.summary import (
 )
 
 __all__ = [
+    "Analysis",
     "ArgUnit",
+    "Block",
+    "CFG",
+    "CfgUnsupported",
+    "Edge",
+    "Guard",
+    "build_cfg",
+    "each_item_state",
+    "exit_edge_states",
+    "function_cfgs",
+    "solve_backward",
+    "solve_forward",
     "AssignFromCall",
     "CallSite",
     "ClassEntry",

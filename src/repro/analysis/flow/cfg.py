@@ -1,0 +1,640 @@
+"""Per-function control-flow graphs for the CFG-dataflow phase.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` into a graph of
+:class:`Block` nodes holding *items* — the function's simple statements
+in execution order, plus synthesized ``ast.Expr`` wrappers for branch
+and loop test expressions (so expression-level rules see them exactly
+once per evaluation point) and :class:`WithExit` markers where a
+``with`` block releases its context managers.
+
+Structured control flow is lowered the way the solver wants to consume
+it, not the way the grammar spells it:
+
+* ``if``/``while``/``for`` produce ``true``/``false`` edges; when the
+  test is a simple None/truthiness check on a local name the edges
+  carry a :class:`Guard`, which is what gives the dataflow phase its
+  path sensitivity (``if span is not None: span.end()`` does not leak
+  on the else edge — the handle *is* None there).
+* ``for``/``while`` ``else`` clauses hang off the not-taken edge, so a
+  ``break`` provably skips them.
+* ``try``/``except``/``finally`` is modelled conservatively: control
+  may transfer to a matching handler from every statement boundary in
+  the ``try`` body, and the ``finally`` suite is *inlined* once per
+  distinct continuation (normal fall-through, return, break, continue,
+  unhandled exception), which is what makes ``return`` inside a
+  ``finally`` override the in-flight jump — exactly as the interpreter
+  behaves.
+* ``match`` produces one edge per case plus a fall-through edge unless
+  some case is irrefutable.
+* ``return`` and ``raise`` route to the single exit block through every
+  enclosing ``finally``; the exit-bound edge kind (``return``/``fall``/
+  ``raise``) tells typestate rules which kind of path leaks a resource.
+
+Generators (any ``yield`` in the function's own body) and ``async``
+functions suspend mid-flight in ways a static CFG of this shape cannot
+honestly describe, so :func:`build_cfg` raises :class:`CfgUnsupported`
+and the rules built on top skip such functions gracefully.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Block",
+    "CFG",
+    "CaseBind",
+    "CfgUnsupported",
+    "Edge",
+    "ExceptBind",
+    "ForBind",
+    "Guard",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "function_cfgs",
+]
+
+
+class CfgUnsupported(Exception):
+    """The function's control flow is out of scope (generator/async)."""
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A fact about a local name that holds along one branch edge."""
+
+    name: str
+    truthy: bool    # True: name is truthy/non-None on this edge
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed control-flow edge."""
+
+    src: int
+    dst: int
+    kind: str                     # flow|true|false|case|loop|return|raise|except
+    guard: Optional[Guard] = None
+
+
+class WithEnter:
+    """Pseudo-item marking where a ``with`` acquires its managers.
+
+    Rules should consume ``node.items`` (the withitems: context
+    expressions and ``as`` bindings) and must not walk ``node.body`` —
+    the body's statements appear as ordinary items of their own.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.With) -> None:
+        self.node = node
+
+
+class WithExit:
+    """Pseudo-item marking where a ``with`` releases its managers."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.With) -> None:
+        self.node = node
+
+
+class ForBind:
+    """Pseudo-item: the per-iteration target binding of a ``for`` loop.
+
+    The loop's iterable expression is evaluated once before the header
+    and appears as its own expression item; rules should consume only
+    ``node.target`` here.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.For) -> None:
+        self.node = node
+
+
+class ExceptBind:
+    """Pseudo-item: entry into one ``except`` handler (name binding)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.ExceptHandler) -> None:
+        self.node = node
+
+
+class CaseBind:
+    """Pseudo-item: the pattern bindings of one ``match`` case arm."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.match_case) -> None:
+        self.node = node
+
+
+@dataclass
+class Block:
+    """A straight-line run of items with a single entry point."""
+
+    id: int
+    items: List[object] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """One function's control-flow graph.
+
+    ``entry`` has no items of its own; ``exit_id`` is the unique sink —
+    every ``return``, fall-off-the-end, and unhandled explicit ``raise``
+    reaches it, each via an edge whose kind says which.
+    """
+
+    blocks: List[Block]
+    edges: List[Edge]
+    entry: int
+    exit_id: int
+
+    def successors(self, block_id: int) -> List[Edge]:
+        """Edges leaving ``block_id``."""
+        return [e for e in self.edges if e.src == block_id]
+
+    def predecessors(self, block_id: int) -> List[Edge]:
+        """Edges entering ``block_id``."""
+        return [e for e in self.edges if e.dst == block_id]
+
+    def exit_edges(self) -> List[Edge]:
+        """Edges into the exit block (the function's leave points)."""
+        return self.predecessors(self.exit_id)
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    """Whether the function's *own* body yields (nested defs excluded)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _contains_yield(child):
+            return True
+    return False
+
+
+def _expr_item(expr: ast.expr) -> ast.Expr:
+    """Wrap a bare test expression as a statement-shaped item."""
+    item = ast.Expr(value=expr)
+    ast.copy_location(item, expr)
+    return item
+
+
+def _test_guards(test: ast.expr) -> Tuple[Optional[Guard], Optional[Guard]]:
+    """(true-edge, false-edge) guards for simple None/truthiness tests."""
+    negated = False
+    while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        test = test.operand
+        negated = not negated
+    name: Optional[str] = None
+    truthy_on_true = True
+    if isinstance(test, ast.Name):
+        name = test.id
+    elif (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.left, ast.Name)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        name = test.left.id
+        if isinstance(test.ops[0], ast.Is):
+            truthy_on_true = False       # "x is None" true => x falsy
+        elif not isinstance(test.ops[0], ast.IsNot):
+            name = None
+    if name is None:
+        return None, None
+    if negated:
+        truthy_on_true = not truthy_on_true
+    return (
+        Guard(name, truthy_on_true),
+        Guard(name, not truthy_on_true),
+    )
+
+
+def _is_irrefutable(case: ast.match_case) -> bool:
+    """Whether the case always matches (wildcard/capture, no guard)."""
+    if case.guard is not None:
+        return False
+    pattern = case.pattern
+    return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+
+#: A loop context: (continue target block, break patch list, finally depth).
+class _Loop:
+    __slots__ = ("continue_to", "breaks", "finally_depth")
+
+    def __init__(self, continue_to: int, finally_depth: int) -> None:
+        self.continue_to = continue_to
+        self.breaks: List[int] = []          # blocks awaiting the loop exit
+        self.finally_depth = finally_depth
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = [Block(0)]
+        self.edges: List[Edge] = []
+        self.exit_id = self._new_block()
+        self.cur: Optional[int] = 0           # None while unreachable
+        self.loops: List[_Loop] = []
+        #: Innermost-last ``finally`` suites control must run through on
+        #: any jump out of their ``try``.
+        self.finallys: List[ast.Try] = []
+        #: Innermost-last handler targets: (handler entry ids, finally
+        #: depth at the time the try was entered, exceptional-finally
+        #: entry or None).
+        self.handlers: List[Tuple[List[int], int, Optional[int]]] = []
+
+    # -- low-level graph assembly ------------------------------------------
+
+    def _new_block(self) -> int:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int, kind: str,
+              guard: Optional[Guard] = None) -> None:
+        self.edges.append(Edge(src, dst, kind, guard))
+
+    def _append(self, item: object) -> None:
+        if self.cur is not None:
+            self.blocks[self.cur].items.append(item)
+
+    def _start_block(self, preds: Sequence[Tuple[int, str, Optional[Guard]]]) -> None:
+        """Open a fresh current block fed by ``preds`` (may be empty)."""
+        block = self._new_block()
+        for src, kind, guard in preds:
+            self._edge(src, block, kind, guard)
+        self.cur = block if preds else None
+
+    # -- finally inlining ---------------------------------------------------
+
+    def _run_finallys(self, down_to: int) -> bool:
+        """Inline every ``finally`` suite above depth ``down_to``.
+
+        Pops suites as it inlines them (callers save and restore
+        ``self.finallys`` around the call).  Returns False when some
+        inlined suite hijacked control (its own ``return``/``raise``/
+        ``break`` left no fall-through), in which case the caller's
+        jump must not complete.
+        """
+        while len(self.finallys) > down_to:
+            suite = self.finallys.pop()
+            for stmt in suite.finalbody:
+                self._stmt(stmt)
+            if self.cur is None:
+                return False
+        return True
+
+    def _jump(self, dst: int, kind: str, finally_depth: int = 0) -> None:
+        """Leave the current position for ``dst`` through finallys."""
+        if self.cur is None:
+            return
+        saved = self.finallys[:]
+        completed = self._run_finallys(finally_depth)
+        self.finallys = saved
+        if completed and self.cur is not None:
+            self._edge(self.cur, dst, kind)
+        self.cur = None
+
+    # -- statement dispatch -------------------------------------------------
+
+    def build(self, func: ast.FunctionDef) -> CFG:
+        for stmt in func.body:
+            self._stmt(stmt)
+        if self.cur is not None:
+            self._jump(self.exit_id, "fall")
+        return CFG(
+            blocks=self.blocks, edges=self.edges,
+            entry=0, exit_id=self.exit_id,
+        )
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if self.cur is None:
+            return  # unreachable code contributes nothing
+        self._pre_statement_exception_edges()
+        if self.cur is None:  # pragma: no cover - defensive
+            return
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if isinstance(stmt, ast.AsyncFor):
+                raise CfgUnsupported("async for")
+            self._for(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if isinstance(stmt, ast.AsyncWith):
+                raise CfgUnsupported("async with")
+            self._with(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._jump(self.exit_id, "return")
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            self._raise()
+        elif isinstance(stmt, ast.Break):
+            loop = self.loops[-1] if self.loops else None
+            if loop is None:
+                return
+            if self.cur is not None:
+                saved = self.finallys[:]
+                completed = self._run_finallys(loop.finally_depth)
+                self.finallys = saved
+                if completed and self.cur is not None:
+                    loop.breaks.append(self.cur)
+                self.cur = None
+        elif isinstance(stmt, ast.Continue):
+            loop = self.loops[-1] if self.loops else None
+            if loop is None:
+                return
+            self._jump(loop.continue_to, "loop", loop.finally_depth)
+        else:
+            self._append(stmt)
+
+    def _pre_statement_exception_edges(self) -> None:
+        """Conservative handler edges at a try-body statement boundary.
+
+        The dataflow state *before* each protected statement may reach
+        the handlers (the statement can raise part-way), so the current
+        block is closed here and a fresh one opened — the closed
+        block's out-state is exactly that boundary state.
+        """
+        if not self.handlers or self.cur is None:
+            return
+        handler_ids, _, exc_finally = self.handlers[-1]
+        src = self.cur
+        for hid in handler_ids:
+            self._edge(src, hid, "except")
+        if exc_finally is not None:
+            self._edge(src, exc_finally, "except")
+        self._start_block([(src, "flow", None)])
+
+    def _raise(self) -> None:
+        """An explicit raise: to the innermost handlers, else the exit."""
+        if self.cur is None:
+            return
+        if self.handlers:
+            handler_ids, _, exc_finally = self.handlers[-1]
+            for hid in handler_ids:
+                self._edge(self.cur, hid, "except")
+            if exc_finally is not None:
+                self._edge(self.cur, exc_finally, "except")
+            if handler_ids or exc_finally is not None:
+                self.cur = None
+                return
+        self._jump(self.exit_id, "raise")
+
+    # -- structured statements ---------------------------------------------
+
+    def _if(self, stmt: ast.If) -> None:
+        self._append(_expr_item(stmt.test))
+        head = self.cur
+        assert head is not None
+        true_guard, false_guard = _test_guards(stmt.test)
+        joins: List[Tuple[int, str, Optional[Guard]]] = []
+        self._start_block([(head, "true", true_guard)])
+        for s in stmt.body:
+            self._stmt(s)
+        if self.cur is not None:
+            joins.append((self.cur, "flow", None))
+        if stmt.orelse:
+            self._start_block([(head, "false", false_guard)])
+            for s in stmt.orelse:
+                self._stmt(s)
+            if self.cur is not None:
+                joins.append((self.cur, "flow", None))
+        else:
+            joins.append((head, "false", false_guard))
+        self._start_block(joins)
+
+    def _while(self, stmt: ast.While) -> None:
+        head_preds = [(self.cur, "flow", None)] if self.cur is not None else []
+        self._start_block(head_preds)  # loop header
+        head = self.cur
+        if head is None:  # pragma: no cover - guarded by _stmt
+            return
+        self._append(_expr_item(stmt.test))
+        true_guard, false_guard = _test_guards(stmt.test)
+        always_true = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        loop = _Loop(head, len(self.finallys))
+        self.loops.append(loop)
+        self._start_block([(head, "true", true_guard)])
+        for s in stmt.body:
+            self._stmt(s)
+        self._jump(head, "loop")
+        self.loops.pop()
+        # Normal (test-false) exit runs the else suite; breaks skip it.
+        after_preds: List[Tuple[int, str, Optional[Guard]]] = []
+        if not always_true:
+            self._start_block([(head, "false", false_guard)])
+            for s in stmt.orelse:
+                self._stmt(s)
+            if self.cur is not None:
+                after_preds.append((self.cur, "flow", None))
+        after_preds.extend((b, "flow", None) for b in loop.breaks)
+        self._start_block(after_preds)
+
+    def _for(self, stmt: ast.For) -> None:
+        self._append(_expr_item(stmt.iter))
+        head_preds = [(self.cur, "flow", None)] if self.cur is not None else []
+        self._start_block(head_preds)  # loop header: next-element fetch
+        head = self.cur
+        if head is None:  # pragma: no cover - guarded by _stmt
+            return
+        self._append(ForBind(stmt))  # per-iteration target binding
+        loop = _Loop(head, len(self.finallys))
+        self.loops.append(loop)
+        self._start_block([(head, "true", None)])
+        for s in stmt.body:
+            self._stmt(s)
+        self._jump(head, "loop")
+        self.loops.pop()
+        after_preds: List[Tuple[int, str, Optional[Guard]]] = []
+        self._start_block([(head, "false", None)])  # iterator exhausted
+        for s in stmt.orelse:
+            self._stmt(s)
+        if self.cur is not None:
+            after_preds.append((self.cur, "flow", None))
+        after_preds.extend((b, "flow", None) for b in loop.breaks)
+        self._start_block(after_preds)
+
+    def _with(self, stmt: ast.With) -> None:
+        self._append(WithEnter(stmt))  # manager acquisition + as-bindings
+        for s in stmt.body:
+            self._stmt(s)
+        self._append(WithExit(stmt))
+
+    def _match(self, stmt: ast.Match) -> None:
+        self._append(_expr_item(stmt.subject))
+        head = self.cur
+        assert head is not None
+        joins: List[Tuple[int, str, Optional[Guard]]] = []
+        saw_irrefutable = False
+        for case in stmt.cases:
+            self._start_block([(head, "case", None)])
+            self._append(CaseBind(case))  # pattern bindings for this arm
+            if case.guard is not None:
+                self._append(_expr_item(case.guard))
+            for s in case.body:
+                self._stmt(s)
+            if self.cur is not None:
+                joins.append((self.cur, "flow", None))
+            if _is_irrefutable(case):
+                saw_irrefutable = True
+        if not saw_irrefutable:
+            joins.append((head, "false", None))
+        self._start_block(joins)
+
+    def _try(self, stmt: ast.Try) -> None:
+        entry = self.cur
+        assert entry is not None
+        has_finally = bool(stmt.finalbody)
+        finally_depth = len(self.finallys)
+        if has_finally:
+            self.finallys.append(stmt)
+
+        # Exceptional finally: runs when no handler matches (or there
+        # are no handlers), then propagates.  Built lazily as an entry
+        # block; its body is inlined after the protected region closes.
+        # A catch-all handler (bare ``except:`` / ``except
+        # BaseException:``) makes that path unreachable from the
+        # protected body, so it is not materialised — cleanup done in a
+        # catch-all handler satisfies path-sensitive rules.
+        catch_all = any(
+            handler.type is None
+            or (isinstance(handler.type, ast.Name)
+                and handler.type.id == "BaseException")
+            for handler in stmt.handlers
+        )
+        exc_finally_entry: Optional[int] = None
+        if has_finally and not catch_all:
+            exc_finally_entry = self._new_block()
+
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        self.handlers.append(
+            (handler_entries, finally_depth, exc_finally_entry)
+        )
+
+        # Protected body (per-statement boundary edges to handlers come
+        # from _pre_statement_exception_edges while this context is on
+        # the handler stack).
+        body_end: Optional[int] = None
+        for s in stmt.body:
+            self._stmt(s)
+        if self.cur is not None:
+            self._pre_statement_exception_edges()
+        body_end = self.cur
+        self.handlers.pop()
+
+        joins: List[Tuple[int, str, Optional[Guard]]] = []
+
+        # else clause: runs when the body completed; its exceptions are
+        # not caught by this try's handlers.
+        if body_end is not None:
+            self.cur = body_end
+            for s in stmt.orelse:
+                self._stmt(s)
+            if self.cur is not None:
+                if has_finally:
+                    saved = self.finallys[:]
+                    completed = self._run_finallys(finally_depth)
+                    self.finallys = saved
+                    if completed and self.cur is not None:
+                        joins.append((self.cur, "flow", None))
+                else:
+                    joins.append((self.cur, "flow", None))
+            self.cur = None
+
+        # Handlers: body runs, then the normal finally, then after-try.
+        for handler, hid in zip(stmt.handlers, handler_entries):
+            self.cur = hid
+            self._append(ExceptBind(handler))  # exception-name binding
+            for s in handler.body:
+                self._stmt(s)
+            if self.cur is not None:
+                if has_finally:
+                    saved = self.finallys[:]
+                    completed = self._run_finallys(finally_depth)
+                    self.finallys = saved
+                    if completed and self.cur is not None:
+                        joins.append((self.cur, "flow", None))
+                else:
+                    joins.append((self.cur, "flow", None))
+            self.cur = None
+
+        if has_finally:
+            self.finallys.pop()
+            # Exceptional finally body: inline once; afterwards the
+            # exception propagates outwards (handlers of an outer try,
+            # or the function exit).
+            if exc_finally_entry is not None:
+                self.cur = exc_finally_entry
+                for s in stmt.finalbody:
+                    self._stmt(s)
+                if self.cur is not None:
+                    self._raise()
+
+        self._start_block(joins)
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Lower one function body to a CFG.
+
+    Raises:
+        CfgUnsupported: for async functions and generators.
+    """
+    if isinstance(func, ast.AsyncFunctionDef):
+        raise CfgUnsupported("async function")
+    if not isinstance(func, ast.FunctionDef):
+        raise CfgUnsupported(type(func).__name__)
+    if _contains_yield(func):
+        raise CfgUnsupported("generator")
+    return _Builder().build(func)
+
+
+def function_cfgs(
+    tree: ast.AST,
+) -> List[Tuple[ast.FunctionDef, str, Optional[CFG]]]:
+    """(node, qualname, cfg-or-None) for every def in ``tree``.
+
+    Nested and method definitions are yielded as their own entries;
+    unsupported functions (async/generator) carry ``None`` so callers
+    can skip them gracefully.  Results are ordered by source position.
+    """
+    out: List[Tuple[ast.FunctionDef, str, Optional[CFG]]] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                try:
+                    cfg: Optional[CFG] = build_cfg(child)
+                except CfgUnsupported:
+                    cfg = None
+                out.append((child, qual, cfg))
+                walk(child, f"{qual}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    out.sort(key=lambda item: (item[0].lineno, item[0].col_offset))
+    return out

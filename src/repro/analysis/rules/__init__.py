@@ -52,6 +52,8 @@ def _load() -> None:
         from repro.analysis.rules import observability  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import robustness  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.rules import units  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import resources  # noqa: F401  # repro: noqa[COR004]
+        from repro.analysis.rules import precision  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.flow import rules as flow_rules  # noqa: F401  # repro: noqa[COR004]
         from repro.analysis.flow import perf as flow_perf  # noqa: F401  # repro: noqa[COR004]
 

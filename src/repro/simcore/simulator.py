@@ -195,6 +195,12 @@ class Simulator:
                 self.now = max(self.now, event.time)
                 event.callback()
                 executed += 1
+        except BaseException:
+            # Close the run span on the crash path too, or the trace
+            # loses exactly the run that went wrong.
+            span.end(events=executed, error=True)
+            self.telemetry.flush()
+            raise
         finally:
             self._running = False
             self._events_total.inc(executed)
@@ -221,6 +227,10 @@ class Simulator:
                 self.now = max(self.now, event.time)
                 event.callback()
                 executed += 1
+        except BaseException:
+            span.end(events=executed, error=True)
+            self.telemetry.flush()
+            raise
         finally:
             self._running = False
             self._events_total.inc(executed)

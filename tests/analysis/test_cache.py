@@ -115,3 +115,34 @@ def test_save_prunes_entries_for_deleted_files(tmp_path):
     fresh.save()
     data = json.loads((tmp_path / "cache.json").read_text())
     assert display not in data["configs"][config_key(engine.rule_ids)]
+
+
+def test_tool_version_bump_reanalyzes_everything(tmp_path, monkeypatch):
+    """A TOOL_VERSION change must invalidate every cached record.
+
+    Guards the PR contract that semantic changes to rules (like the
+    CFG dataflow layer) ship with a version bump: a stale cache from
+    the previous version must never satisfy a warm run.
+    """
+    import repro.analysis.cache as cache_mod
+
+    tree = _tree(tmp_path)
+    engine = Engine()
+    cold_cache = _cache(tmp_path, engine)
+    cold = engine.check_paths([tree], cache=cold_cache, reference_roots=[])
+    cold_cache.save()
+
+    monkeypatch.setattr(cache_mod, "TOOL_VERSION", "bumped-for-test")
+    parsed = []
+    real_parse = ast.parse
+    monkeypatch.setattr(
+        ast, "parse",
+        lambda *a, **k: parsed.append(a) or real_parse(*a, **k),
+    )
+    bumped_cache = _cache(tmp_path, engine)
+    bumped = engine.check_paths([tree], cache=bumped_cache, reference_roots=[])
+    # Both files were re-parsed from scratch, and findings agree.
+    assert len(parsed) == 2
+    assert [f.render() for f in bumped.findings] == [
+        f.render() for f in cold.findings
+    ]

@@ -1,0 +1,305 @@
+"""CFG construction: edge cases the ISSUE calls out explicitly."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow.cfg import (
+    CfgUnsupported,
+    build_cfg,
+    function_cfgs,
+)
+
+
+def _cfg(src):
+    tree = ast.parse(textwrap.dedent(src))
+    func = next(
+        node for node in tree.body if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+def _item_sources(cfg):
+    """Unparsed text of every real-statement item, for reachability asserts."""
+    texts = []
+    for block in cfg.blocks:
+        for item in block.items:
+            if isinstance(item, ast.stmt):
+                texts.append(ast.unparse(item))
+    return texts
+
+
+def test_straight_line_single_exit():
+    cfg = _cfg(
+        """
+        def f(x):
+            y = x + 1
+            return y
+        """
+    )
+    exits = cfg.exit_edges()
+    assert len(exits) == 1
+    assert exits[0].kind == "return"
+
+
+def test_if_else_joins_and_guards():
+    cfg = _cfg(
+        """
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    guards = [e.guard for e in cfg.edges if e.guard is not None]
+    assert {g.truthy for g in guards} == {True, False}
+    assert all(g.name == "x" for g in guards)
+
+
+def test_is_none_test_produces_inverted_guards():
+    cfg = _cfg(
+        """
+        def f(span):
+            if span is None:
+                return 0
+            return 1
+        """
+    )
+    guards = {(e.guard.name, e.guard.truthy, e.kind)
+              for e in cfg.edges if e.guard is not None}
+    # 'span is None' true => span is falsy on the true edge.
+    assert ("span", False, "true") in guards
+    assert ("span", True, "false") in guards
+
+
+def test_while_else_runs_only_without_break():
+    cfg = _cfg(
+        """
+        def f(n):
+            while n:
+                if n == 3:
+                    break
+                n -= 1
+            else:
+                done = True
+            return n
+        """
+    )
+    # The else body must be reachable only via the loop-condition-false
+    # edge; a break edge goes straight past it.  Structural check: the
+    # block holding `done = True` has exactly one predecessor and that
+    # edge is the false branch of the loop test.
+    done_block = next(
+        b for b in cfg.blocks
+        for item in b.items
+        if isinstance(item, ast.stmt) and "done = True" in ast.unparse(item)
+    )
+    preds = cfg.predecessors(done_block.id)
+    assert len(preds) == 1
+    (pred_edge,) = [e for e in cfg.edges if e.dst == done_block.id]
+    assert pred_edge.kind == "false"
+
+
+def test_for_else_and_loop_back_edge():
+    cfg = _cfg(
+        """
+        def f(xs):
+            for x in xs:
+                use(x)
+            else:
+                finish()
+            return 0
+        """
+    )
+    assert any(e.kind == "loop" for e in cfg.edges)
+    assert "finish()" in _item_sources(cfg)
+
+
+def test_try_finally_with_return_in_finally_overrides():
+    cfg = _cfg(
+        """
+        def f():
+            try:
+                return 1
+            finally:
+                return 2
+        """
+    )
+    # Every return edge must come from a block whose last real item is
+    # the finally's return — the body return is hijacked.
+    exits = [e for e in cfg.exit_edges() if e.kind == "return"]
+    assert exits
+    for edge in exits:
+        block = cfg.blocks[edge.src]
+        stmts = [i for i in block.items if isinstance(i, ast.stmt)]
+        assert stmts and ast.unparse(stmts[-1]) == "return 2"
+
+
+def test_return_through_finally_inlines_cleanup():
+    cfg = _cfg(
+        """
+        def f(res, cond):
+            try:
+                if cond:
+                    return 1
+                work()
+            finally:
+                res.close()
+            return 0
+        """
+    )
+    # The early return must pass through a block containing the
+    # cleanup; count res.close() occurrences — one inline per escaping
+    # continuation (early return, fall-through, exceptional).
+    closes = [t for t in _item_sources(cfg) if t == "res.close()"]
+    assert len(closes) >= 2
+
+
+def test_except_handler_and_exceptional_edge_kinds():
+    cfg = _cfg(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handled = True
+            return 0
+        """
+    )
+    kinds = {e.kind for e in cfg.edges}
+    assert "except" in kinds
+    assert "handled = True" in _item_sources(cfg)
+
+
+def test_raise_reaches_exit_when_uncaught():
+    cfg = _cfg(
+        """
+        def f(x):
+            if x:
+                raise ValueError(x)
+            return 0
+        """
+    )
+    kinds = {e.kind for e in cfg.exit_edges()}
+    assert kinds == {"raise", "return"}
+
+
+def test_nested_with_emits_enter_exit_pairs():
+    cfg = _cfg(
+        """
+        def f(a, b):
+            with a() as x:
+                with b() as y:
+                    use(x, y)
+            return 0
+        """
+    )
+    from repro.analysis.flow.cfg import WithEnter, WithExit
+
+    enters = sum(
+        isinstance(i, WithEnter) for b in cfg.blocks for i in b.items
+    )
+    exits = sum(
+        isinstance(i, WithExit) for b in cfg.blocks for i in b.items
+    )
+    assert enters == 2 and exits == 2
+
+
+def test_match_statement_cases_and_fallthrough():
+    cfg = _cfg(
+        """
+        def f(cmd):
+            match cmd:
+                case "run":
+                    a = 1
+                case "stop":
+                    a = 2
+                case _:
+                    a = 3
+            return a
+        """
+    )
+    sources = _item_sources(cfg)
+    assert {"a = 1", "a = 2", "a = 3"} <= set(sources)
+    # The wildcard arm is irrefutable: no case edge may skip past it.
+    assert any(e.kind == "case" for e in cfg.edges)
+
+
+def test_continue_jumps_to_loop_header():
+    cfg = _cfg(
+        """
+        def f(xs):
+            total = 0
+            for x in xs:
+                if not x:
+                    continue
+                total += x
+            return total
+        """
+    )
+    assert any(e.kind == "loop" for e in cfg.edges)
+
+
+def test_generator_raises_unsupported():
+    tree = ast.parse("def g():\n    yield 1\n")
+    with pytest.raises(CfgUnsupported):
+        build_cfg(tree.body[0])
+
+
+def test_async_def_raises_unsupported():
+    tree = ast.parse("async def g():\n    return 1\n")
+    with pytest.raises(CfgUnsupported):
+        build_cfg(tree.body[0])
+
+
+def test_function_cfgs_skips_unsupported_and_qualifies_names():
+    tree = ast.parse(textwrap.dedent(
+        """
+        class C:
+            def method(self):
+                return 1
+
+        def outer():
+            def inner():
+                return 2
+            return inner
+
+        def gen():
+            yield 3
+
+        async def aio():
+            return 4
+        """
+    ))
+    by_name = {qual: cfg for _, qual, cfg in function_cfgs(tree)}
+    assert by_name["C.method"] is not None
+    assert by_name["outer"] is not None
+    assert by_name["outer.<locals>.inner"] is not None
+    assert by_name["gen"] is None
+    assert by_name["aio"] is None
+
+
+def test_every_edge_references_real_blocks():
+    cfg = _cfg(
+        """
+        def f(x):
+            try:
+                for i in range(x):
+                    if i == 2:
+                        break
+                    with x:
+                        use(i)
+            except ValueError:
+                pass
+            finally:
+                cleanup()
+            return x
+        """
+    )
+    ids = {b.id for b in cfg.blocks}
+    for edge in cfg.edges:
+        assert edge.src in ids and edge.dst in ids
+    assert cfg.entry in ids and cfg.exit_id in ids

@@ -1,0 +1,182 @@
+"""``lint --changed`` and ``lint --explain`` end to end."""
+
+import subprocess
+
+from repro.analysis import all_project_rules, all_rules
+from repro.cli import main
+
+_GIT_ENV = {
+    "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@example.invalid",
+    "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@example.invalid",
+    "HOME": "/tmp", "GIT_CONFIG_GLOBAL": "/dev/null",
+    "GIT_CONFIG_SYSTEM": "/dev/null", "PATH": "/usr/bin:/bin:/usr/local/bin",
+}
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", *args], cwd=cwd, env=_GIT_ENV, check=True,
+        capture_output=True, text=True,
+    )
+
+
+def _repo_with_origin_main(tmp_path):
+    """A checkout whose origin/main ref points at the initial commit."""
+    pkg = tmp_path / "repro" / "simcore"
+    pkg.mkdir(parents=True)
+    (pkg / "good.py").write_text("def poll_ms():\n    return 64.0\n")
+    _git(tmp_path, "init", "-q", "-b", "main")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    _git(tmp_path, "update-ref", "refs/remotes/origin/main", "HEAD")
+    return tmp_path
+
+
+def test_changed_restricts_to_modified_files(tmp_path, monkeypatch, capsys):
+    repo = _repo_with_origin_main(tmp_path)
+    bad = repo / "repro" / "simcore" / "bad.py"
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    monkeypatch.chdir(repo)
+    assert main(["lint", ".", "--changed", "--no-baseline",
+                 "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py" in out
+    assert "in 1 file" in out  # good.py was not analysed
+
+
+def test_changed_with_clean_tree_exits_zero(tmp_path, monkeypatch, capsys):
+    repo = _repo_with_origin_main(tmp_path)
+    monkeypatch.chdir(repo)
+    assert main(["lint", ".", "--changed", "--no-baseline",
+                 "--no-cache"]) == 0
+    assert "no changed files" in capsys.readouterr().out
+
+
+def test_changed_outside_git_falls_back_to_full_run(
+    tmp_path, monkeypatch, capsys
+):
+    pkg = tmp_path / "repro" / "simcore"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n"
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", ".", "--changed", "--no-baseline",
+                 "--no-cache"]) == 1
+    captured = capsys.readouterr()
+    assert "analysing the full tree" in captured.err
+    assert "bad.py" in captured.out
+
+
+def test_changed_refuses_baseline_writes(tmp_path, monkeypatch, capsys):
+    repo = _repo_with_origin_main(tmp_path)
+    monkeypatch.chdir(repo)
+    assert main(["lint", ".", "--changed", "--write-baseline"]) == 2
+    assert "refusing" in capsys.readouterr().err
+
+
+def test_explain_prints_full_catalogue_entry(capsys):
+    assert main(["lint", "--explain", "RES001"]) == 0
+    out = capsys.readouterr().out
+    assert "RES001" in out
+    assert "rationale:" in out
+    assert "example:" in out
+    assert "fix:" in out
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert main(["lint", "--explain", "prec003"]) == 0
+    assert "2036" in capsys.readouterr().out
+
+
+def test_explain_unknown_rule_suggests_close_match(capsys):
+    assert main(["lint", "--explain", "RES01"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err
+    assert "did you mean RES001" in err
+
+
+def test_explain_gibberish_has_no_suggestion(capsys):
+    assert main(["lint", "--explain", "ZZZZZZZZ"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err
+    assert "did you mean" not in err
+
+
+def test_every_registered_rule_has_a_complete_entry(capsys):
+    """The --explain contract: no registered rule may lack a section."""
+    for rule_id in sorted({**all_rules(), **all_project_rules()}):
+        assert main(["lint", "--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        for section in ("rationale:", "example:", "fix:"):
+            assert section in out, f"{rule_id} is missing {section}"
+
+
+# ---------------------------------------------------------------------------
+# RES/PREC through the full pipeline: --jobs, baseline, SARIF
+
+
+def _seed_res_prec_tree(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "leaky.py").write_text(
+        '"""Fixture."""\n\n\ndef work(tracer, cond):\n'
+        '    span = tracer.begin("work")\n'
+        "    if cond:\n"
+        "        return 1\n"
+        "    span.end()\n"
+        "    return 0\n"
+    )
+    (pkg / "lossy.py").write_text(
+        '"""Fixture."""\n\n\ndef scale(offset_ns):\n'
+        "    return offset_ns * 0.5\n"
+    )
+    return tmp_path
+
+
+def test_new_rules_are_jobs_deterministic(tmp_path, capsys):
+    tree = _seed_res_prec_tree(tmp_path)
+    base = ["lint", str(tree), "--no-baseline", "--no-cache",
+            "--select", "RES001,PREC001"]
+    assert main(base + ["--jobs", "1"]) == 1
+    serial = capsys.readouterr().out
+    assert main(base + ["--jobs", "2"]) == 1
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert "RES001" in serial and "PREC001" in serial
+
+
+def test_new_rules_round_trip_through_baseline(tmp_path, capsys):
+    tree = _seed_res_prec_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--no-cache", "--write-baseline"]) == 0
+    capsys.readouterr()
+    # Baselined findings no longer fail the run...
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--no-cache"]) == 0
+    capsys.readouterr()
+    # ...until a new violation appears.
+    extra = tree / "repro" / "core" / "extra.py"
+    extra.write_text(
+        '"""Fixture."""\n\n\ndef drop(tracer):\n'
+        '    tracer.begin("never.closed")\n'
+    )
+    assert main(["lint", str(tree), "--baseline", str(baseline),
+                 "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "extra.py" in out
+
+
+def test_new_rules_render_in_sarif(tmp_path, capsys):
+    import json
+
+    tree = _seed_res_prec_tree(tmp_path)
+    assert main(["lint", str(tree), "--no-baseline", "--no-cache",
+                 "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    rules = {
+        r["id"]
+        for r in sarif["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert {"RES001", "PREC001"} <= rules

@@ -1,0 +1,224 @@
+"""PREC001-004: interval/value-range precision analysis."""
+
+import textwrap
+
+from repro.analysis import check_source
+
+MODULE = "repro.core.discipline"
+
+
+def _rules(src, module=MODULE):
+    return sorted(
+        f.rule for f in check_source(textwrap.dedent(src), module=module)
+        if f.rule.startswith("PREC")
+    )
+
+
+# -- PREC001: the 2^53 float-exact window -----------------------------------
+
+def test_ns_integer_times_float_fires():
+    src = """
+        def scale(offset_ns):
+            return offset_ns * 0.5
+    """
+    assert _rules(src) == ["PREC001"]
+
+
+def test_float_call_on_wide_ns_fires():
+    src = """
+        def convert(t_ns):
+            return float(t_ns) / 1e9
+    """
+    assert "PREC001" in _rules(src)
+
+
+def test_us_integer_division_within_window_is_fine():
+    """A century of µs (~4e15) still fits inside 2^53: no finding."""
+    src = """
+        def convert(delay_us):
+            return delay_us / 1e6
+    """
+    assert _rules(src) == []
+
+
+def test_us_integer_scaled_beyond_window_fires():
+    """Scaling µs to ns range in int, then to float, exceeds 2^53."""
+    src = """
+        def convert(delay_us):
+            return (delay_us * 1000) / 1e9
+    """
+    assert _rules(src) == ["PREC001"]
+
+
+def test_ms_quantity_is_within_window():
+    """A century of ms (~4e12) sits inside 2^53: floats stay exact."""
+    src = """
+        def scale(rtt_ms):
+            return rtt_ms * 0.5
+    """
+    assert _rules(src) == []
+
+
+def test_value_range_bounds_silence_the_rule():
+    """x_ns % 1000 is provably below 2^53 — value-range sensitivity."""
+    src = """
+        def frac(offset_ns):
+            small_ns = offset_ns % 1000
+            return small_ns * 0.5
+    """
+    assert _rules(src) == []
+
+
+def test_right_shift_shrinks_the_range():
+    src = """
+        def scale(correction_ns):
+            coarse = correction_ns >> 16
+            return coarse * 0.5
+    """
+    assert _rules(src) == []
+
+
+def test_pure_integer_arithmetic_is_clean():
+    src = """
+        def split(t_ns):
+            secs = t_ns // 1000000000
+            frac_ns = t_ns % 1000000000
+            return secs, frac_ns
+    """
+    assert _rules(src) == []
+
+
+# -- PREC002: 16.16 short-format truncation ---------------------------------
+
+def test_encode_short_of_us_tier_fires():
+    src = """
+        from repro.ntp.timestamps import encode_short
+
+        def pack(delay_us):
+            return encode_short(delay_us)
+    """
+    assert _rules(src) == ["PREC002"]
+
+
+def test_encode_short_of_ms_tier_is_fine():
+    src = """
+        from repro.ntp.timestamps import encode_short
+
+        def pack(dispersion_ms):
+            return encode_short(dispersion_ms)
+    """
+    assert _rules(src) == []
+
+
+def test_codec_home_module_is_exempt():
+    src = """
+        def encode_short(value_us):
+            return encode_short(value_us)
+    """
+    assert _rules(src, module="repro.ntp.timestamps") == []
+
+
+# -- PREC003: era-unsafe NTP comparisons ------------------------------------
+
+def test_magnitude_compare_of_raw_ntp_fires():
+    src = """
+        from repro.ntp.timestamps import unix_to_ntp
+
+        def later(a_s, b_s):
+            a_ntp = unix_to_ntp(a_s)
+            b_ntp = unix_to_ntp(b_s)
+            return a_ntp < b_ntp
+    """
+    assert _rules(src) == ["PREC003"]
+
+
+def test_suffix_tainted_ntp_names_fire():
+    src = """
+        def later(recv_ntp, xmit_ntp):
+            return recv_ntp >= xmit_ntp
+    """
+    assert _rules(src) == ["PREC003"]
+
+
+def test_unix_seconds_compare_is_fine():
+    src = """
+        def later(a_s, b_s):
+            return a_s < b_s
+    """
+    assert _rules(src) == []
+
+
+def test_equality_on_ntp_timestamps_is_not_flagged():
+    """Equality does not depend on era ordering."""
+    src = """
+        def same(recv_ntp, xmit_ntp):
+            return recv_ntp == xmit_ntp
+    """
+    assert _rules(src) == []
+
+
+# -- PREC004: division chains that collapse precision ------------------------
+
+def test_floor_divide_then_scale_back_fires():
+    src = """
+        def roundtrip(t_ns):
+            t_us = t_ns // 1000
+            back_ns = t_us * 1000
+            return back_ns
+    """
+    assert "PREC004" in _rules(src)
+
+
+def test_truncated_value_stored_under_finer_suffix_fires():
+    src = """
+        def coarse(t_ns):
+            rounded_ns = t_ns // 1000
+            return rounded_ns
+    """
+    assert _rules(src) == ["PREC004"]
+
+
+def test_downscale_tracked_through_intermediate_variable():
+    src = """
+        def chain(t_ns):
+            a = t_ns // 1000
+            b = a
+            out_ns = b * 1000
+            return out_ns
+    """
+    assert "PREC004" in _rules(src)
+
+
+def test_plain_unit_conversion_is_clean():
+    src = """
+        def convert(t_ns):
+            t_us = t_ns // 1000
+            return t_us
+    """
+    assert _rules(src) == []
+
+
+def test_halving_does_not_coarsen_tier():
+    """Dividing by two (averaging) keeps the tier: no truncation."""
+    src = """
+        def midpoint(a_ns, b_ns):
+            mid_ns = (a_ns + b_ns) // 2
+            return mid_ns
+    """
+    assert _rules(src) == []
+
+
+def test_generator_is_skipped_gracefully():
+    src = """
+        def stream(t_ns):
+            yield t_ns * 0.5
+    """
+    assert _rules(src) == []
+
+
+def test_noqa_suppresses_precision_finding():
+    src = """
+        def scale(offset_ns):
+            return offset_ns * 0.5  # repro: noqa[PREC001] offsets bounded by slew clamp
+    """
+    assert _rules(src) == []

@@ -47,7 +47,7 @@ def test_end_is_idempotent():
 
 def test_unfinished_span_emits_nothing():
     clock, trace, tracer = make_tracer()
-    tracer.begin("never.closed")
+    tracer.begin("never.closed")  # repro: noqa[RES001] the leak is the behavior under test
     assert len(trace) == 0
     assert tracer.open_count == 1
 
@@ -70,8 +70,8 @@ def test_explicit_times_and_negative_duration_clamped():
 
 def test_end_all_closes_stragglers():
     clock, trace, tracer = make_tracer()
-    tracer.begin("a")
-    tracer.begin("b")
+    tracer.begin("a")  # repro: noqa[RES001] left open on purpose; end_all() is under test
+    tracer.begin("b")  # repro: noqa[RES001] left open on purpose; end_all() is under test
     clock.t = 1.0
     assert tracer.end_all() == 2
     assert tracer.open_count == 0
